@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks of the library's hot kernels: list
+// scheduling, register-union computation, Gamma estimation, full design
+// evaluation, a simulated-annealing step, the scaling enumerator and a
+// fault-injection trial. These are the per-iteration costs that
+// determine how much design space a given search budget covers.
+#include "baseline/simulated_annealing.h"
+#include "core/initial_mapping.h"
+#include "reliability/design_eval.h"
+#include "sim/fault_injection.h"
+#include "taskgraph/mpeg2.h"
+#include "tgff/random_graph.h"
+
+#include <benchmark/benchmark.h>
+
+namespace seamap {
+namespace {
+
+TaskGraph benchmark_graph(std::int64_t tasks) {
+    if (tasks <= 11) return mpeg2_decoder_graph();
+    TgffParams params;
+    params.task_count = static_cast<std::size_t>(tasks);
+    return generate_tgff_graph(params, 42);
+}
+
+void bm_list_scheduler(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    const ScalingVector levels = {1, 2, 2, 3};
+    const ListScheduler scheduler;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.schedule(graph, mapping, arch, levels));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(graph.task_count()));
+}
+BENCHMARK(bm_list_scheduler)->Arg(11)->Arg(60)->Arg(100);
+
+void bm_register_union(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(per_core_register_bits(graph, mapping, 4));
+    }
+}
+BENCHMARK(bm_register_union)->Arg(11)->Arg(60)->Arg(100);
+
+void bm_gamma_estimate(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    const ScalingVector levels = {1, 2, 2, 3};
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+    const SeuEstimator estimator{SerModel{}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(estimator.estimate(graph, mapping, arch, levels, schedule));
+    }
+}
+BENCHMARK(bm_gamma_estimate)->Arg(11)->Arg(60)->Arg(100);
+
+void bm_full_design_evaluation(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2, 3}, SeuEstimator{SerModel{}}, 10.0};
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluate_design(ctx, mapping));
+    }
+}
+BENCHMARK(bm_full_design_evaluation)->Arg(11)->Arg(60)->Arg(100);
+
+void bm_initial_sea_mapping(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2, 3}, SeuEstimator{SerModel{}}, 10.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(initial_sea_mapping(ctx));
+    }
+}
+BENCHMARK(bm_initial_sea_mapping)->Arg(11)->Arg(60)->Arg(100);
+
+void bm_sa_annealing_run(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(60);
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {2, 2, 2, 2}, SeuEstimator{SerModel{}}, 1e9};
+    SaParams params;
+    params.iterations = static_cast<std::uint64_t>(state.range(0));
+    const SimulatedAnnealingMapper mapper(params);
+    const Mapping initial = round_robin_mapping(graph, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.optimize(ctx, MappingObjective::seu_count, initial));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(bm_sa_annealing_run)->Arg(100)->Arg(1000);
+
+void bm_scaling_enumeration(benchmark::State& state) {
+    const auto cores = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        ScalingEnumerator enumerator(cores, 3);
+        std::size_t count = 0;
+        while (enumerator.next()) ++count;
+        benchmark::DoNotOptimize(count);
+    }
+}
+BENCHMARK(bm_scaling_enumeration)->Arg(4)->Arg(8)->Arg(16);
+
+void bm_fault_injection_trial(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    const ScalingVector levels = {2, 2, 2, 2};
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+    const FaultInjector injector(SerModel{}, SimExposurePolicy::full_duration);
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            injector.inject(graph, mapping, arch, levels, schedule, rng));
+    }
+}
+BENCHMARK(bm_fault_injection_trial)->Arg(11)->Arg(100);
+
+} // namespace
+} // namespace seamap

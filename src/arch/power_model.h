@@ -1,0 +1,51 @@
+// Dynamic power model of the MPSoC (paper eqs. 1 and 5):
+//     P_dyn = alpha * C_L * f * Vdd^2
+// We fold the switching activity into an *effective switched
+// capacitance* C_eff = alpha * C_L per core. Eq. (5) weights each
+// core's power by its utilization alpha_i = busy_time_i / T_M; a
+// clocked-but-idle core still burns a fraction of its active power in
+// the clock tree and caches (`idle_activity`), and a core with no tasks
+// mapped is assumed power-gated (zero).
+//
+// Absolute milliwatts depend on C_eff, which the authors never publish;
+// the default is calibrated so the 4-core MPEG-2 design lands in the
+// paper's few-mW range. Ratios between designs — the reproduction
+// target — are independent of C_eff.
+#pragma once
+
+#include "arch/scaling_table.h"
+
+#include <span>
+
+namespace seamap {
+
+/// Parameters of the dynamic power model.
+struct PowerParams {
+    /// Effective switched capacitance per core, farads (alpha * C_L).
+    double c_eff_farads = 60e-12;
+    /// Fraction of active power burned while clocked but idle.
+    double idle_activity = 0.3;
+};
+
+/// Power model bound to a scaling table.
+class PowerModel {
+public:
+    PowerModel(VoltageScalingTable table, PowerParams params);
+
+    const VoltageScalingTable& table() const { return table_; }
+    const PowerParams& params() const { return params_; }
+
+    /// Active power of one core at the given level, in mW (eq. 1).
+    double core_active_power_mw(ScalingLevel level) const;
+
+    /// MPSoC power (eq. 5): per-core level and utilization in [0, 1].
+    /// A utilization of exactly 0 means "no tasks mapped" -> power-gated.
+    double mpsoc_power_mw(std::span<const ScalingLevel> levels,
+                          std::span<const double> utilizations) const;
+
+private:
+    VoltageScalingTable table_;
+    PowerParams params_;
+};
+
+} // namespace seamap

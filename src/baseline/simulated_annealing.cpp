@@ -1,0 +1,138 @@
+#include "baseline/simulated_annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace seamap {
+
+namespace {
+
+/// Penalized scalar cost: objective inflated by the relative deadline
+/// violation so the annealer is pulled toward feasibility but can walk
+/// through infeasible regions.
+double penalized_cost(const SaParams& params, MappingObjective objective,
+                      const DesignMetrics& metrics, double deadline_seconds) {
+    const double base = objective_value(objective, metrics);
+    if (metrics.feasible || deadline_seconds <= 0.0) return base;
+    const double violation = metrics.tm_seconds / deadline_seconds - 1.0;
+    return base * (1.0 + params.infeasibility_penalty * violation);
+}
+
+/// Mutate `mapping` in place; returns the touched tasks so the caller
+/// could undo (we copy instead: graphs are small).
+void random_neighbor(Mapping& mapping, Rng& rng, double swap_probability,
+                     bool require_all_cores) {
+    const auto tasks = static_cast<std::int64_t>(mapping.task_count());
+    const auto cores = static_cast<std::int64_t>(mapping.core_count());
+    if (cores < 2 || tasks < 1) return;
+    if (tasks >= 2 && rng.uniform() < swap_probability) {
+        // Swap the cores of two tasks on different cores (population-
+        // preserving, so always admissible).
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            const auto a = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+            const auto b = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+            if (a == b) continue;
+            const CoreId core_a = mapping.core_of(a);
+            const CoreId core_b = mapping.core_of(b);
+            if (core_a == core_b) continue;
+            mapping.assign(a, core_b);
+            mapping.assign(b, core_a);
+            return;
+        }
+    }
+    // Move one task to a different core.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto task = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+        const CoreId old_core = mapping.core_of(task);
+        if (require_all_cores && mapping.task_count_on(old_core) == 1) continue;
+        auto target = static_cast<CoreId>(rng.uniform_int(0, cores - 2));
+        if (target >= old_core) ++target;
+        mapping.assign(task, target);
+        return;
+    }
+}
+
+} // namespace
+
+SimulatedAnnealingMapper::SimulatedAnnealingMapper(SaParams params) : params_(params) {
+    if (params_.iterations == 0)
+        throw std::invalid_argument("SimulatedAnnealingMapper: need >= 1 iteration");
+    if (params_.initial_temperature <= 0.0 || params_.final_temperature <= 0.0 ||
+        params_.final_temperature > params_.initial_temperature)
+        throw std::invalid_argument("SimulatedAnnealingMapper: bad temperature range");
+    if (params_.swap_probability < 0.0 || params_.swap_probability > 1.0)
+        throw std::invalid_argument("SimulatedAnnealingMapper: bad swap probability");
+    if (params_.infeasibility_penalty < 0.0)
+        throw std::invalid_argument("SimulatedAnnealingMapper: penalty must be >= 0");
+}
+
+SaResult SimulatedAnnealingMapper::optimize(const EvaluationContext& ctx,
+                                            MappingObjective objective,
+                                            const Mapping& initial) const {
+    if (!initial.complete())
+        throw std::invalid_argument("SimulatedAnnealingMapper: initial mapping incomplete");
+
+    Rng rng(params_.seed);
+    Mapping current = initial;
+    DesignMetrics current_metrics = evaluate_design(ctx, current);
+    double current_cost =
+        penalized_cost(params_, objective, current_metrics, ctx.deadline_seconds);
+
+    SaResult result;
+    result.best_mapping = current;
+    result.best_metrics = current_metrics;
+    result.found_feasible = current_metrics.feasible;
+    result.evaluations = 1;
+
+    // Best tracking: feasible designs compare by objective; infeasible
+    // ones (only used until the first feasible design appears) by T_M.
+    auto better_than_best = [&](const DesignMetrics& metrics) {
+        if (metrics.feasible && !result.found_feasible) return true;
+        if (metrics.feasible == result.found_feasible) {
+            if (result.found_feasible)
+                return objective_value(objective, metrics) <
+                       objective_value(objective, result.best_metrics);
+            return metrics.tm_seconds < result.best_metrics.tm_seconds;
+        }
+        return false;
+    };
+
+    const double cooling_exponent =
+        std::log(params_.final_temperature / params_.initial_temperature);
+    for (std::uint64_t iter = 0; iter < params_.iterations; ++iter) {
+        const double progress =
+            static_cast<double>(iter) / static_cast<double>(params_.iterations);
+        const double temperature =
+            params_.initial_temperature * std::exp(cooling_exponent * progress);
+
+        Mapping neighbor = current;
+        random_neighbor(neighbor, rng, params_.swap_probability, params_.require_all_cores);
+        if (neighbor == current) continue;
+        const DesignMetrics neighbor_metrics = evaluate_design(ctx, neighbor);
+        ++result.evaluations;
+        const double neighbor_cost =
+            penalized_cost(params_, objective, neighbor_metrics, ctx.deadline_seconds);
+
+        const double relative_delta =
+            current_cost > 0.0 ? (neighbor_cost - current_cost) / current_cost
+                               : neighbor_cost - current_cost;
+        const bool accept = relative_delta <= 0.0 ||
+                            rng.uniform() < std::exp(-relative_delta / temperature);
+        if (accept) {
+            current = std::move(neighbor);
+            current_metrics = neighbor_metrics;
+            current_cost = neighbor_cost;
+            ++result.accepted_moves;
+            if (better_than_best(current_metrics)) {
+                result.best_mapping = current;
+                result.best_metrics = current_metrics;
+                result.found_feasible |= current_metrics.feasible;
+            }
+        }
+        ++result.iterations_run;
+    }
+    return result;
+}
+
+} // namespace seamap

@@ -1,0 +1,112 @@
+#include "core/dse.h"
+
+#include "core/initial_mapping.h"
+#include "util/rng.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace seamap {
+
+DesignSpaceExplorer::DesignSpaceExplorer(SerModel ser, ExposurePolicy policy)
+    : ser_(std::move(ser)), policy_(policy) {}
+
+DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchitecture& arch,
+                                       double deadline_seconds, const DseParams& params) const {
+    graph.validate();
+    using Clock = std::chrono::steady_clock;
+    const auto start_time = Clock::now();
+    auto out_of_time = [&]() {
+        if (params.total_time_budget_seconds <= 0.0) return false;
+        const std::chrono::duration<double> elapsed = Clock::now() - start_time;
+        return elapsed.count() >= params.total_time_budget_seconds;
+    };
+
+    DseResult result;
+    ScalingEnumerator enumerator(arch.core_count(), arch.scaling_table().level_count());
+    while (auto levels = enumerator.next()) {
+        if (out_of_time()) break;
+        ++result.scalings_enumerated;
+
+        // Step 1 gate: skip scalings that cannot possibly meet the
+        // deadline under any mapping.
+        if (tm_lower_bound_seconds(graph, arch, *levels) >
+            deadline_seconds * (1.0 + 1e-9)) {
+            ++result.scalings_skipped_infeasible;
+            continue;
+        }
+
+        EvaluationContext ctx{graph, arch, *levels, SeuEstimator(ser_, policy_),
+                              deadline_seconds};
+
+        // Step 2: two-stage soft error-aware mapping. Vary the search
+        // seed per scaling so repeated scalings do not replay the same
+        // random walk.
+        Mapping initial = params.use_initial_sea_mapping
+                              ? initial_sea_mapping(ctx)
+                              : round_robin_mapping(graph, arch.core_count());
+        LocalSearchParams search = params.search;
+        std::uint64_t level_hash = 0xcbf29ce484222325ULL;
+        for (ScalingLevel level : *levels) level_hash = splitmix64(level_hash ^ level);
+        search.seed = splitmix64(params.search.seed ^ level_hash);
+        const OptimizedMapping searcher(search);
+        LocalSearchResult searched = searcher.optimize(ctx, initial);
+        ++result.scalings_searched;
+        if (!searched.found_feasible) continue;
+
+        DsePoint point;
+        point.levels = *levels;
+        point.mapping = std::move(searched.best_mapping);
+        point.metrics = searched.best_metrics;
+        result.feasible_points.push_back(std::move(point));
+    }
+
+    // Step 3: iterative assessment — among feasible designs pick
+    // minimum power, breaking near-ties by Gamma.
+    const double tie = std::max(0.0, params.power_tie_tolerance);
+    for (const DsePoint& point : result.feasible_points) {
+        if (!result.best) {
+            result.best = point;
+            continue;
+        }
+        const double best_power = result.best->metrics.power_mw;
+        const double power = point.metrics.power_mw;
+        const bool near_tie = std::abs(power - best_power) <=
+                              tie * std::max(best_power, power);
+        if (near_tie ? point.metrics.gamma < result.best->metrics.gamma : power < best_power)
+            result.best = point;
+    }
+    result.pareto_front = pareto_front_of(result.feasible_points);
+    return result;
+}
+
+std::vector<DsePoint> pareto_front_of(std::vector<DsePoint> points) {
+    std::vector<DsePoint> front;
+    for (const DsePoint& candidate : points) {
+        bool dominated = false;
+        for (const DsePoint& other : points) {
+            const bool no_worse = other.metrics.power_mw <= candidate.metrics.power_mw &&
+                                  other.metrics.gamma <= candidate.metrics.gamma;
+            const bool strictly_better = other.metrics.power_mw < candidate.metrics.power_mw ||
+                                         other.metrics.gamma < candidate.metrics.gamma;
+            if (no_worse && strictly_better) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) front.push_back(candidate);
+    }
+    std::sort(front.begin(), front.end(), [](const DsePoint& a, const DsePoint& b) {
+        return a.metrics.power_mw < b.metrics.power_mw;
+    });
+    // Drop duplicates on (P, Gamma) so the front is a clean staircase.
+    front.erase(std::unique(front.begin(), front.end(),
+                            [](const DsePoint& a, const DsePoint& b) {
+                                return a.metrics.power_mw == b.metrics.power_mw &&
+                                       a.metrics.gamma == b.metrics.gamma;
+                            }),
+                front.end());
+    return front;
+}
+
+} // namespace seamap

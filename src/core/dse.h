@@ -1,0 +1,80 @@
+// The full design-space exploration of the paper's Fig. 4: joint power
+// minimization (voltage scaling, step 1) and reliability improvement
+// (soft error-aware task mapping, step 2) under a real-time constraint,
+// with iterative assessment (step 3).
+//
+// Scaling combinations are enumerated with nextScaling (Fig. 5) from
+// the lowest-voltage point upward; combinations whose execution-time
+// lower bound already misses the deadline are skipped. For every
+// remaining combination the two-stage mapper (InitialSEAMapping +
+// OptimizedMapping) minimizes the expected SEUs; the explorer records
+// each feasible design's (P, Gamma) and finally reports
+//   - the paper's pick: minimum power, ties broken by fewer SEUs, and
+//   - the Pareto front over (P, Gamma) for inspection.
+#pragma once
+
+#include "arch/mpsoc.h"
+#include "core/optimized_mapping.h"
+#include "reliability/design_eval.h"
+#include "sched/mapping.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace seamap {
+
+/// One evaluated design point.
+struct DsePoint {
+    ScalingVector levels;
+    Mapping mapping;
+    DesignMetrics metrics;
+};
+
+/// Exploration knobs.
+struct DseParams {
+    /// Per-scaling mapping-search effort (Fig. 7 budget).
+    LocalSearchParams search;
+    /// Overall wall-clock budget, seconds (0 = none): the paper's
+    /// "chosen search-time".
+    double total_time_budget_seconds = 0.0;
+    /// Start stage 2 from the stage-1 greedy mapping (Fig. 6). Off =
+    /// ablation: start from a round-robin mapping instead.
+    bool use_initial_sea_mapping = true;
+    /// Relative power window within which designs count as "equal
+    /// power" for the Gamma tie-break.
+    double power_tie_tolerance = 5e-3;
+};
+
+/// Exploration outcome.
+struct DseResult {
+    /// Minimum-power feasible design (Gamma tie-break); nullopt when no
+    /// scaling meets the deadline.
+    std::optional<DsePoint> best;
+    /// Every feasible design point evaluated.
+    std::vector<DsePoint> feasible_points;
+    /// Non-dominated subset over (power_mw, gamma).
+    std::vector<DsePoint> pareto_front;
+    std::uint64_t scalings_enumerated = 0;
+    std::uint64_t scalings_skipped_infeasible = 0;
+    std::uint64_t scalings_searched = 0;
+};
+
+/// Fig. 4 explorer.
+class DesignSpaceExplorer {
+public:
+    explicit DesignSpaceExplorer(SerModel ser,
+                                 ExposurePolicy policy = ExposurePolicy::full_duration);
+
+    DseResult explore(const TaskGraph& graph, const MpsocArchitecture& arch,
+                      double deadline_seconds, const DseParams& params) const;
+
+private:
+    SerModel ser_;
+    ExposurePolicy policy_;
+};
+
+/// Pareto filter over (power_mw, gamma); exposed for tests and benches.
+std::vector<DsePoint> pareto_front_of(std::vector<DsePoint> points);
+
+} // namespace seamap

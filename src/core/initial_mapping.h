@@ -1,0 +1,24 @@
+// Stage 1 of the proposed soft error-aware task mapping: the greedy
+// constructive InitialSEAMapping of the paper's Fig. 6.
+//
+// The algorithm grows one core at a time. Starting from the graph's
+// source task, it repeatedly maps the *dependent* of the current task
+// that adds the fewest expected SEUs to the core (dependents share
+// registers with their producer, so following dependency edges is how
+// the greedy localizes shared state), until either the core's busy
+// time would exceed the real-time budget T_Mref or too few unmapped
+// tasks remain to populate the other cores. Tasks bypassed along the
+// way wait in a queue Q and seed the next cores; whatever remains after
+// core C-1 lands on the last core.
+#pragma once
+
+#include "reliability/design_eval.h"
+#include "sched/mapping.h"
+
+namespace seamap {
+
+/// Greedy SEU-aware constructive mapping (Fig. 6). Always returns a
+/// complete mapping; feasibility is the job of stage 2.
+Mapping initial_sea_mapping(const EvaluationContext& ctx);
+
+} // namespace seamap

@@ -1,0 +1,205 @@
+#include "core/optimized_mapping.h"
+
+#include "util/rng.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace seamap {
+
+namespace {
+
+void random_task_movement(Mapping& mapping, Rng& rng, double swap_probability,
+                          bool require_all_cores) {
+    const auto tasks = static_cast<std::int64_t>(mapping.task_count());
+    const auto cores = static_cast<std::int64_t>(mapping.core_count());
+    if (cores < 2 || tasks < 1) return;
+    if (tasks >= 2 && rng.uniform() < swap_probability) {
+        // Swaps never change per-core populations, so they are always
+        // admissible under require_all_cores.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            const auto a = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+            const auto b = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+            if (a == b || mapping.core_of(a) == mapping.core_of(b)) continue;
+            const CoreId core_a = mapping.core_of(a);
+            mapping.assign(a, mapping.core_of(b));
+            mapping.assign(b, core_a);
+            return;
+        }
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto task = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+        if (require_all_cores && mapping.task_count_on(mapping.core_of(task)) == 1)
+            continue; // would empty its core
+        auto target = static_cast<CoreId>(rng.uniform_int(0, cores - 2));
+        if (target >= mapping.core_of(task)) ++target;
+        mapping.assign(task, target);
+        return;
+    }
+}
+
+} // namespace
+
+OptimizedMapping::OptimizedMapping(LocalSearchParams params) : params_(params) {
+    if (params_.max_iterations == 0 && params_.time_budget_seconds <= 0.0)
+        throw std::invalid_argument("OptimizedMapping: need an iteration or time budget");
+    if (params_.initial_temperature <= 0.0 || params_.final_temperature <= 0.0 ||
+        params_.final_temperature > params_.initial_temperature)
+        throw std::invalid_argument("OptimizedMapping: bad temperature range");
+    if (params_.swap_probability < 0.0 || params_.swap_probability > 1.0)
+        throw std::invalid_argument("OptimizedMapping: bad swap probability");
+}
+
+LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
+                                             const Mapping& initial) const {
+    if (!initial.complete())
+        throw std::invalid_argument("OptimizedMapping: initial mapping incomplete");
+
+    using Clock = std::chrono::steady_clock;
+    const auto start_time = Clock::now();
+    auto budget_exhausted = [&](std::uint64_t iteration) {
+        if (params_.max_iterations > 0 && iteration >= params_.max_iterations) return true;
+        if (params_.time_budget_seconds > 0.0) {
+            const std::chrono::duration<double> elapsed = Clock::now() - start_time;
+            if (elapsed.count() >= params_.time_budget_seconds) return true;
+        }
+        return false;
+    };
+
+    Rng rng(params_.seed);
+    Mapping current = initial;                                     // step A
+    DesignMetrics current_metrics = evaluate_design(ctx, current); // list schedule M
+
+    LocalSearchResult result;
+    result.best_mapping = current;
+    result.best_metrics = current_metrics;
+    result.found_feasible = current_metrics.feasible;
+    result.evaluations = 1;
+
+    // Steps E-F: a feasible design with fewer expected SEUs becomes the
+    // new best; until anything is feasible, track the least-infeasible.
+    auto consider_best = [&](const Mapping& mapping, const DesignMetrics& metrics) {
+        const bool improves = metrics.feasible &&
+                              (!result.found_feasible ||
+                               metrics.gamma < result.best_metrics.gamma);
+        if (improves) {
+            result.best_mapping = mapping;
+            result.best_metrics = metrics;
+            result.found_feasible = true;
+            ++result.improvements;
+        } else if (!result.found_feasible &&
+                   metrics.tm_seconds < result.best_metrics.tm_seconds) {
+            result.best_mapping = mapping;
+            result.best_metrics = metrics;
+        }
+    };
+    // Walk ordering: feasibility first, then fewer expected SEUs.
+    auto walk_improves = [](const DesignMetrics& candidate, const DesignMetrics& reference) {
+        if (!reference.feasible)
+            return candidate.feasible || candidate.tm_seconds < reference.tm_seconds;
+        return candidate.feasible && candidate.gamma < reference.gamma;
+    };
+    // The paper's systematic pass: try every single-task move from the
+    // current mapping and return the best strict improvement.
+    auto sweep = [&]() {
+        Mapping best_neighbor = current;
+        DesignMetrics best_metrics = current_metrics;
+        bool found = false;
+        for (TaskId t = 0; t < ctx.graph.task_count(); ++t) {
+            const CoreId original = current.core_of(t);
+            if (params_.require_all_cores && current.task_count_on(original) == 1)
+                continue; // moving t would empty its core
+            for (CoreId core = 0; core < ctx.arch.core_count(); ++core) {
+                if (core == original) continue;
+                Mapping candidate = current;
+                candidate.assign(t, core);
+                const DesignMetrics metrics = evaluate_design(ctx, candidate);
+                ++result.evaluations;
+                consider_best(candidate, metrics);
+                if (walk_improves(metrics, best_metrics)) {
+                    best_neighbor = std::move(candidate);
+                    best_metrics = metrics;
+                    found = true;
+                }
+            }
+        }
+        if (found) {
+            current = std::move(best_neighbor);
+            current_metrics = best_metrics;
+        }
+    };
+
+    // Restart scheduling: the iteration budget is divided evenly;
+    // restart k > 0 begins from a perturbed copy of `initial`.
+    const std::uint64_t restarts = std::max<std::uint64_t>(1, params_.restarts);
+    const std::uint64_t restart_period =
+        params_.max_iterations > 0
+            ? std::max<std::uint64_t>(1, params_.max_iterations / restarts)
+            : 0;
+    auto restart_walk = [&]() {
+        current = initial;
+        const auto kicks = std::max<std::size_t>(2, ctx.graph.task_count() / 2);
+        for (std::size_t k = 0; k < kicks; ++k)
+            random_task_movement(current, rng, params_.swap_probability,
+                                 params_.require_all_cores);
+        current_metrics = evaluate_design(ctx, current);
+        ++result.evaluations;
+        consider_best(current, current_metrics);
+    };
+
+    std::uint64_t iteration = 0;
+    while (!budget_exhausted(iteration)) { // step B
+        ++iteration;
+        if (restart_period > 0 && iteration % restart_period == 0 &&
+            iteration + restart_period <= params_.max_iterations) {
+            restart_walk();
+            continue;
+        }
+        if (params_.sweep_interval > 0 && iteration % params_.sweep_interval == 0) {
+            sweep();
+            continue;
+        }
+        Mapping neighbor = current; // step C: neighbouring task movement
+        random_task_movement(neighbor, rng, params_.swap_probability,
+                             params_.require_all_cores);
+        if (neighbor == current) continue;
+        const DesignMetrics metrics = evaluate_design(ctx, neighbor); // step D
+        ++result.evaluations;
+        consider_best(neighbor, metrics);
+
+        // Walk policy: move toward feasibility first, then toward lower
+        // Gamma, with annealed acceptance of worse steps. The cooling
+        // progress is measured within the current restart segment so
+        // every restart begins hot again.
+        bool step = walk_improves(metrics, current_metrics);
+        if (!step) {
+            double relative_worsening;
+            if (!current_metrics.feasible) {
+                relative_worsening = metrics.tm_seconds / current_metrics.tm_seconds - 1.0;
+            } else if (!metrics.feasible) {
+                relative_worsening = 1.0; // leaving the feasible region is heavily damped
+            } else {
+                relative_worsening = metrics.gamma / current_metrics.gamma - 1.0;
+            }
+            const std::uint64_t segment = restart_period > 0 ? restart_period
+                                          : params_.max_iterations > 0 ? params_.max_iterations
+                                                                       : 10'000;
+            const double progress =
+                static_cast<double>(iteration % segment) / static_cast<double>(segment);
+            const double temperature =
+                params_.initial_temperature *
+                std::exp(std::log(params_.final_temperature / params_.initial_temperature) *
+                         progress);
+            step = rng.uniform() < std::exp(-relative_worsening / temperature);
+        }
+        if (step) {
+            current = std::move(neighbor);
+            current_metrics = metrics;
+        }
+    }
+    result.iterations_run = iteration;
+    return result;
+}
+
+} // namespace seamap

@@ -1,0 +1,27 @@
+#include "reliability/design_eval.h"
+
+namespace seamap {
+
+DesignMetrics evaluate_design(const EvaluationContext& ctx, const Mapping& mapping,
+                              Schedule& schedule_out) {
+    const ListScheduler scheduler;
+    schedule_out = scheduler.schedule(ctx.graph, mapping, ctx.arch, ctx.levels);
+
+    DesignMetrics metrics;
+    metrics.tm_seconds = schedule_out.total_time_seconds;
+    metrics.latency_seconds = schedule_out.latency_seconds;
+    metrics.register_bits = total_register_bits(ctx.graph, mapping, ctx.arch.core_count());
+    metrics.gamma =
+        ctx.estimator.estimate(ctx.graph, mapping, ctx.arch, ctx.levels, schedule_out).total;
+    metrics.power_mw =
+        ctx.arch.power_model().mpsoc_power_mw(ctx.levels, schedule_out.utilization);
+    metrics.feasible = schedule_out.meets_deadline(ctx.deadline_seconds);
+    return metrics;
+}
+
+DesignMetrics evaluate_design(const EvaluationContext& ctx, const Mapping& mapping) {
+    Schedule schedule;
+    return evaluate_design(ctx, mapping, schedule);
+}
+
+} // namespace seamap

@@ -1,0 +1,41 @@
+// Register-usage model, eq. (8) of the paper: the register usage R_i of
+// core i is the total width of the *union* of the register sets of the
+// tasks mapped there — registers shared by co-located tasks count once,
+// while tasks split across cores duplicate their shared registers on
+// every core involved.
+#pragma once
+
+#include "sched/mapping.h"
+#include "taskgraph/task_graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace seamap {
+
+/// R_i in bits for every core (eq. 8). Unassigned tasks contribute
+/// nothing; cores without tasks have R_i = 0.
+std::vector<std::uint64_t> per_core_register_bits(const TaskGraph& graph, const Mapping& mapping,
+                                                  std::size_t core_count);
+
+/// Total register usage R = sum_i R_i in bits.
+std::uint64_t total_register_bits(const TaskGraph& graph, const Mapping& mapping,
+                                  std::size_t core_count);
+
+/// Incremental helper for greedy construction: R_i of one core if
+/// `candidate` joined the tasks currently mapped there. `current_set`
+/// must be the union set of the core's current tasks.
+std::uint64_t register_bits_with_candidate(const TaskGraph& graph, const RegisterSet& current_set,
+                                           TaskId candidate);
+
+/// The *measured* register usage of eq. (4): the execution-time-
+/// weighted average of live register bits on each core, taking "live"
+/// as the running task's working set. Always <= the eq. (8) union;
+/// equal only when every task on the core uses the same registers.
+/// `exec_seconds` gives each task's execution time (e.g. schedule
+/// entry finish - start); cores with no busy time report 0.
+std::vector<double> time_weighted_register_bits(const TaskGraph& graph, const Mapping& mapping,
+                                                std::span<const double> exec_seconds,
+                                                std::size_t core_count);
+
+} // namespace seamap

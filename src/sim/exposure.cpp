@@ -1,0 +1,74 @@
+#include "sim/exposure.h"
+
+#include <stdexcept>
+
+namespace seamap {
+
+SimExposurePolicy to_sim_policy(ExposurePolicy policy) {
+    switch (policy) {
+    case ExposurePolicy::full_duration: return SimExposurePolicy::full_duration;
+    case ExposurePolicy::busy_only: return SimExposurePolicy::busy_only;
+    }
+    throw std::invalid_argument("to_sim_policy: unknown policy");
+}
+
+std::vector<ExposureInterval> build_exposure_profile(const TaskGraph& graph,
+                                                     const Mapping& mapping,
+                                                     const MpsocArchitecture& arch,
+                                                     const Schedule& schedule,
+                                                     SimExposurePolicy policy) {
+    if (!mapping.complete())
+        throw std::invalid_argument("build_exposure_profile: mapping is incomplete");
+    const std::size_t cores = arch.core_count();
+    std::vector<ExposureInterval> profile;
+
+    if (policy == SimExposurePolicy::running_task) {
+        // One interval per task: its own registers, live for its summed
+        // execution time across all batch iterations.
+        const double batches = static_cast<double>(graph.batch_count());
+        for (TaskId t = 0; t < graph.task_count(); ++t) {
+            const CoreId core = mapping.core_of(t);
+            const double per_iter = schedule.entries[t].finish_seconds -
+                                    schedule.entries[t].start_seconds;
+            ExposureInterval interval;
+            interval.core = core;
+            interval.duration_seconds = per_iter * batches;
+            interval.live = graph.task(t).registers;
+            profile.push_back(std::move(interval));
+        }
+        return profile;
+    }
+
+    // Union-based policies: one interval per used core.
+    std::vector<RegisterSet> unions(cores, RegisterSet(graph.register_file().size()));
+    for (TaskId t = 0; t < graph.task_count(); ++t)
+        unions[mapping.core_of(t)] |= graph.task(t).registers;
+    for (std::size_t c = 0; c < cores; ++c) {
+        if (unions[c].empty()) continue; // unused core: no live state
+        ExposureInterval interval;
+        interval.core = static_cast<CoreId>(c);
+        interval.duration_seconds = policy == SimExposurePolicy::full_duration
+                                        ? schedule.total_time_seconds
+                                        : schedule.core_busy_seconds[c];
+        interval.live = unions[c];
+        profile.push_back(std::move(interval));
+    }
+    return profile;
+}
+
+double expected_seus(const std::vector<ExposureInterval>& profile, const TaskGraph& graph,
+                     const MpsocArchitecture& arch, const ScalingVector& levels,
+                     const SerModel& ser) {
+    arch.validate_scaling(levels);
+    double total = 0.0;
+    for (const auto& interval : profile) {
+        if (interval.core >= arch.core_count())
+            throw std::out_of_range("expected_seus: bad core id in profile");
+        const double rate = ser.ser_per_bit_second(arch.scaling_table().vdd(levels[interval.core]));
+        const double bits = static_cast<double>(interval.live.bits_in(graph.register_file()));
+        total += bits * interval.duration_seconds * rate;
+    }
+    return total;
+}
+
+} // namespace seamap

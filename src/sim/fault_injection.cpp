@@ -1,0 +1,76 @@
+#include "sim/fault_injection.h"
+
+#include <stdexcept>
+
+namespace seamap {
+
+FaultInjector::FaultInjector(SerModel ser, SimExposurePolicy policy, bool sample_locations)
+    : ser_(std::move(ser)), policy_(policy), sample_locations_(sample_locations) {}
+
+InjectionResult FaultInjector::inject_profile(const std::vector<ExposureInterval>& profile,
+                                              const TaskGraph& graph,
+                                              const MpsocArchitecture& arch,
+                                              const ScalingVector& levels, Rng& rng) const {
+    arch.validate_scaling(levels);
+    const RegisterFile& regs = graph.register_file();
+
+    InjectionResult result;
+    result.per_core.assign(arch.core_count(), 0);
+    if (sample_locations_) result.per_register.assign(regs.size(), 0);
+
+    for (const auto& interval : profile) {
+        if (interval.core >= arch.core_count())
+            throw std::out_of_range("FaultInjector: bad core id in profile");
+        if (interval.duration_seconds < 0.0)
+            throw std::invalid_argument("FaultInjector: negative exposure duration");
+        const double rate =
+            ser_.ser_per_bit_second(arch.scaling_table().vdd(levels[interval.core]));
+        if (sample_locations_) {
+            // Independent Poisson streams per register; the sum of the
+            // per-register draws is exactly the interval's Poisson count.
+            interval.live.for_each([&](RegisterId rid) {
+                const double mean =
+                    static_cast<double>(regs.bits(rid)) * interval.duration_seconds * rate;
+                const std::uint64_t hits = rng.poisson(mean);
+                result.per_register[rid] += hits;
+                result.per_core[interval.core] += hits;
+                result.total_seus += hits;
+            });
+        } else {
+            const double bits = static_cast<double>(interval.live.bits_in(regs));
+            const std::uint64_t hits = rng.poisson(bits * interval.duration_seconds * rate);
+            result.per_core[interval.core] += hits;
+            result.total_seus += hits;
+        }
+    }
+    return result;
+}
+
+InjectionResult FaultInjector::inject(const TaskGraph& graph, const Mapping& mapping,
+                                      const MpsocArchitecture& arch, const ScalingVector& levels,
+                                      const Schedule& schedule, Rng& rng) const {
+    const auto profile = build_exposure_profile(graph, mapping, arch, schedule, policy_);
+    return inject_profile(profile, graph, arch, levels, rng);
+}
+
+CampaignSummary FaultInjector::run_campaign(const TaskGraph& graph, const Mapping& mapping,
+                                            const MpsocArchitecture& arch,
+                                            const ScalingVector& levels,
+                                            const Schedule& schedule, std::uint64_t trials,
+                                            std::uint64_t seed) const {
+    if (trials == 0) throw std::invalid_argument("FaultInjector: campaign needs >= 1 trial");
+    const auto profile = build_exposure_profile(graph, mapping, arch, schedule, policy_);
+
+    CampaignSummary summary;
+    summary.trials = trials;
+    summary.analytic_gamma = expected_seus(profile, graph, arch, levels, ser_);
+    Rng root(seed);
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        Rng stream = root.fork(trial);
+        const auto result = inject_profile(profile, graph, arch, levels, stream);
+        summary.seu_stats.add(static_cast<double>(result.total_seus));
+    }
+    return summary;
+}
+
+} // namespace seamap

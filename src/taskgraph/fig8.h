@@ -1,0 +1,23 @@
+// The six-task worked example of the paper's Fig. 8, including its
+// explicit register table (r1..r9, Fig. 8b) and per-task register
+// usage (Fig. 8c). Costs are multiples of 60e4 = 600,000 cycles; the
+// example architecture runs cores at scalings (1, 2, 2) with a 75 ms
+// deadline.
+#pragma once
+
+#include "taskgraph/task_graph.h"
+
+#include <cstdint>
+
+namespace seamap {
+
+/// Cost unit of Fig. 8 ("all costs are multiples of 60x10^4 cycles").
+inline constexpr std::uint64_t k_fig8_cost_unit = 600'000;
+
+/// Deadline used by the worked example.
+inline constexpr double k_fig8_deadline_seconds = 0.075;
+
+/// Build the Fig. 8 example graph (single-shot: batch count 1).
+TaskGraph fig8_example_graph();
+
+} // namespace seamap

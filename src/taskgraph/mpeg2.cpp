@@ -1,0 +1,94 @@
+#include "taskgraph/mpeg2.h"
+
+#include <array>
+
+namespace seamap {
+
+double mpeg2_deadline_seconds() {
+    return static_cast<double>(k_mpeg2_frame_count) / 29.97;
+}
+
+// Register-model reconstruction
+// -----------------------------
+// Fig. 2 publishes the node and edge costs; Section III publishes three
+// sharing facts that pin the register model:
+//   (1) t5 and t6 share "nearly 6.4 kbit";
+//   (2) t6, t7 and t8 share "about 8 kbit among them";
+//   (3) mapping {t5,t6} and {t7,t8} on different cores duplicates
+//       "about 14.4 kbit" between the cores.
+// We satisfy all three exactly with shared register groups:
+//   g_blockbuf (6.4 kbit) used by {t5, t6}            -> fact (1)
+//   g_coeff    (8.0 kbit) used by {t6, t7, t8}        -> fact (2)
+//   g_stage    (6.4 kbit) used by {t5, t7}
+// Splitting {t5,t6} | {t7,t8} then duplicates g_coeff (via t6 vs t7,t8)
+// plus g_stage (via t5 vs t7) = 14.4 kbit             -> fact (3).
+// The remaining groups and per-task locals model the decoder's stream/
+// macroblock/motion/display state; their sizes are chosen so the
+// 4-core register-usage range brackets the paper's Table II span
+// (~80-118 kbit/cycle). 1 kbit = 1000 bits throughout.
+TaskGraph mpeg2_decoder_graph() {
+    RegisterFile regs;
+    // Shared groups.
+    const RegisterId g_stream = regs.add_register("g_stream", 2'000);     // t1,t2,t3
+    const RegisterId g_mbstate = regs.add_register("g_mbstate", 3'000);   // t3,t4,t9
+    const RegisterId g_blockbuf = regs.add_register("g_blockbuf", 6'400); // t5,t6
+    const RegisterId g_coeff = regs.add_register("g_coeff", 8'000);       // t6,t7,t8
+    const RegisterId g_stage = regs.add_register("g_stage", 6'400);       // t5,t7
+    const RegisterId g_mv = regs.add_register("g_mv", 4'000);             // t9,t10
+    const RegisterId g_recon = regs.add_register("g_recon", 3'000);       // t8,t10
+    const RegisterId g_disp = regs.add_register("g_disp", 2'000);         // t10,t11
+    // Per-task private state.
+    const std::array<std::uint64_t, 11> local_bits = {2'000, 3'000, 3'000, 4'000, 3'000, 4'000,
+                                                      5'000, 5'000, 6'000, 4'000, 3'000};
+    std::array<RegisterId, 11> locals{};
+    for (std::size_t i = 0; i < locals.size(); ++i)
+        locals[i] = regs.add_register("l_t" + std::to_string(i + 1), local_bits[i]);
+
+    TaskGraph graph("mpeg2_decoder", std::move(regs));
+    graph.set_batch_count(k_mpeg2_frame_count);
+
+    const auto u = k_mpeg2_cost_unit;
+    struct Spec {
+        const char* name;
+        std::uint64_t cost_units;
+        std::vector<RegisterId> registers;
+    };
+    const std::array<Spec, 11> specs = {{
+        {"decode_header_sequences", 10, {g_stream, locals[0]}},
+        {"decode_frame_slice_headers", 15, {g_stream, locals[1]}},
+        {"decode_macroblock_sequences", 16, {g_stream, g_mbstate, locals[2]}},
+        {"run_length_decode_block", 31, {g_mbstate, locals[3]}},
+        {"inverse_scan_blocks", 25, {g_blockbuf, g_stage, locals[4]}},
+        {"inverse_quantize_blocks", 39, {g_blockbuf, g_coeff, locals[5]}},
+        {"idct_by_row", 63, {g_coeff, g_stage, locals[6]}},
+        {"idct_by_column", 61, {g_coeff, g_recon, locals[7]}},
+        {"motion_compensate_blocks", 48, {g_mbstate, g_mv, locals[8]}},
+        {"add_blocks", 41, {g_mv, g_recon, g_disp, locals[9]}},
+        {"store_display_frame", 21, {g_disp, locals[10]}},
+    }};
+    std::array<TaskId, 11> t{};
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        t[i] = graph.add_task(specs[i].name, specs[i].cost_units * u, specs[i].registers);
+
+    // Edge reconstruction: the header pipeline feeds the block-decode
+    // chain (RLD -> inverse scan -> inverse quantize -> IDCT row ->
+    // IDCT column) and the motion-compensation branch, which re-join at
+    // add_blocks and drain into store/display. Edge costs use the
+    // published multiset {1,2,2,2,2,3,3,4,4,4,4}.
+    graph.add_edge(t[0], t[1], 1 * u);
+    graph.add_edge(t[1], t[2], 2 * u);
+    graph.add_edge(t[2], t[3], 2 * u);
+    graph.add_edge(t[3], t[4], 2 * u);
+    graph.add_edge(t[4], t[5], 3 * u);
+    graph.add_edge(t[5], t[6], 3 * u);
+    graph.add_edge(t[6], t[7], 4 * u);
+    graph.add_edge(t[7], t[9], 4 * u);
+    graph.add_edge(t[2], t[8], 2 * u);
+    graph.add_edge(t[8], t[9], 4 * u);
+    graph.add_edge(t[9], t[10], 4 * u);
+
+    graph.validate();
+    return graph;
+}
+
+} // namespace seamap

@@ -1,0 +1,28 @@
+// The MPEG-2 video decoder task graph of the paper's Fig. 2: eleven
+// tasks whose computation/communication costs are multiples of 5.5e6
+// clock cycles, plus a register working-set model reconstructed from
+// the sharing facts quoted in Section III.
+#pragma once
+
+#include "taskgraph/task_graph.h"
+
+#include <cstdint>
+
+namespace seamap {
+
+/// Cost unit of Fig. 2: every node/edge weight is a multiple of this.
+inline constexpr std::uint64_t k_mpeg2_cost_unit = 5'500'000;
+
+/// Frames in the evaluation bitstream ("tennis", 437 frames at
+/// 29.97 fps) — used as the graph's batch count.
+inline constexpr std::uint64_t k_mpeg2_frame_count = 437;
+
+/// Real-time constraint of the paper's evaluation: decode the whole
+/// bitstream at 29.97 fps, i.e. 437 / 29.97 seconds.
+double mpeg2_deadline_seconds();
+
+/// Build the Fig. 2 decoder graph. Register sets follow the paper's
+/// published sharing facts (see mpeg2.cpp for the reconstruction).
+TaskGraph mpeg2_decoder_graph();
+
+} // namespace seamap

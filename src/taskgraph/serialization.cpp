@@ -1,0 +1,131 @@
+#include "taskgraph/serialization.h"
+
+#include "util/strings.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace seamap {
+
+void write_task_graph(std::ostream& os, const TaskGraph& graph) {
+    os << "# seamap task graph\n";
+    os << "graph " << graph.name() << '\n';
+    os << "batches " << graph.batch_count() << '\n';
+    const RegisterFile& regs = graph.register_file();
+    os << "registers " << regs.size() << '\n';
+    for (RegisterId id = 0; id < regs.size(); ++id)
+        os << "reg " << regs.name(id) << ' ' << regs.bits(id) << '\n';
+    os << "tasks " << graph.task_count() << '\n';
+    for (TaskId id = 0; id < graph.task_count(); ++id) {
+        const Task& task = graph.task(id);
+        os << "task " << task.name << ' ' << task.exec_cycles << ' ' << task.registers.count();
+        task.registers.for_each([&](RegisterId rid) { os << ' ' << rid; });
+        os << '\n';
+    }
+    os << "edges " << graph.edge_count() << '\n';
+    for (const Edge& edge : graph.edges())
+        os << "edge " << edge.src << ' ' << edge.dst << ' ' << edge.comm_cycles << '\n';
+}
+
+namespace {
+
+class LineReader {
+public:
+    explicit LineReader(std::istream& is) : is_(is) {}
+
+    /// Next non-empty, non-comment line split into fields; nullopt at EOF.
+    std::optional<std::vector<std::string>> next() {
+        std::string line;
+        while (std::getline(is_, line)) {
+            ++line_number_;
+            const std::string_view trimmed = trim(line);
+            if (trimmed.empty() || trimmed.front() == '#') continue;
+            std::vector<std::string> fields;
+            std::istringstream fs{std::string(trimmed)};
+            std::string field;
+            while (fs >> field) fields.push_back(field);
+            return fields;
+        }
+        return std::nullopt;
+    }
+
+    [[noreturn]] void fail(const std::string& message) const {
+        throw std::invalid_argument("task graph parse error at line " +
+                                    std::to_string(line_number_) + ": " + message);
+    }
+
+    std::vector<std::string> expect(const std::string& keyword, std::size_t field_count) {
+        auto fields = next();
+        if (!fields) fail("unexpected end of input; expected '" + keyword + "'");
+        if ((*fields)[0] != keyword)
+            fail("expected '" + keyword + "', got '" + (*fields)[0] + "'");
+        if (fields->size() != field_count)
+            fail("'" + keyword + "' expects " + std::to_string(field_count - 1) + " fields");
+        return *fields;
+    }
+
+private:
+    std::istream& is_;
+    std::size_t line_number_ = 0;
+};
+
+} // namespace
+
+TaskGraph read_task_graph(std::istream& is) {
+    LineReader reader(is);
+
+    const auto graph_line = reader.expect("graph", 2);
+    const auto batches_line = reader.expect("batches", 2);
+
+    RegisterFile regs;
+    const auto registers_line = reader.expect("registers", 2);
+    const auto reg_count = parse_u64(registers_line[1]);
+    for (std::uint64_t i = 0; i < reg_count; ++i) {
+        const auto fields = reader.expect("reg", 3);
+        regs.add_register(fields[1], parse_u64(fields[2]));
+    }
+
+    TaskGraph graph(graph_line[1], std::move(regs));
+    graph.set_batch_count(parse_u64(batches_line[1]));
+
+    const auto tasks_line = reader.expect("tasks", 2);
+    const auto task_count = parse_u64(tasks_line[1]);
+    for (std::uint64_t i = 0; i < task_count; ++i) {
+        auto fields = reader.next();
+        if (!fields) reader.fail("unexpected end of input in task list");
+        if ((*fields)[0] != "task" || fields->size() < 4) reader.fail("malformed task line");
+        const auto reg_list_count = parse_u64((*fields)[3]);
+        if (fields->size() != 4 + reg_list_count) reader.fail("task register list length mismatch");
+        std::vector<RegisterId> ids;
+        for (std::uint64_t r = 0; r < reg_list_count; ++r)
+            ids.push_back(static_cast<RegisterId>(parse_u64((*fields)[4 + r])));
+        graph.add_task((*fields)[1], parse_u64((*fields)[2]), ids);
+    }
+
+    const auto edges_line = reader.expect("edges", 2);
+    const auto edge_count = parse_u64(edges_line[1]);
+    for (std::uint64_t i = 0; i < edge_count; ++i) {
+        const auto fields = reader.expect("edge", 4);
+        graph.add_edge(static_cast<TaskId>(parse_u64(fields[1])),
+                       static_cast<TaskId>(parse_u64(fields[2])), parse_u64(fields[3]));
+    }
+
+    graph.validate();
+    return graph;
+}
+
+void save_task_graph(const std::string& path, const TaskGraph& graph) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open for writing: " + path);
+    write_task_graph(os, graph);
+}
+
+TaskGraph load_task_graph(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open for reading: " + path);
+    return read_task_graph(is);
+}
+
+} // namespace seamap

@@ -1,0 +1,33 @@
+// Plain-text (de)serialization for task graphs, so examples and
+// experiments can save generated workloads and reload them later.
+//
+// Format (line-oriented, '#' comments, whitespace-separated):
+//   graph <name-with-no-spaces>
+//   batches <count>
+//   registers <count>
+//   reg <name> <bits>                  # one per register, id = order
+//   tasks <count>
+//   task <name> <exec_cycles> <k> <r0> ... <r(k-1)>
+//   edges <count>
+//   edge <src_id> <dst_id> <comm_cycles>
+#pragma once
+
+#include "taskgraph/task_graph.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace seamap {
+
+/// Write `graph` to `os` in the text format above.
+void write_task_graph(std::ostream& os, const TaskGraph& graph);
+
+/// Parse a graph from `is`; throws std::invalid_argument with a line
+/// number on malformed input.
+TaskGraph read_task_graph(std::istream& is);
+
+/// Convenience round-trips through files.
+void save_task_graph(const std::string& path, const TaskGraph& graph);
+TaskGraph load_task_graph(const std::string& path);
+
+} // namespace seamap

@@ -1,0 +1,181 @@
+#include "taskgraph/standard_graphs.h"
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace seamap {
+
+namespace {
+
+void check_params(const StandardGraphParams& params) {
+    if (params.base_exec_cycles == 0)
+        throw std::invalid_argument("StandardGraphParams: base_exec_cycles must be > 0");
+    if (params.buffer_bits == 0 || params.local_bits == 0)
+        throw std::invalid_argument("StandardGraphParams: register widths must be > 0");
+    if (params.batch_count == 0)
+        throw std::invalid_argument("StandardGraphParams: batch_count must be >= 1");
+}
+
+/// Builder helper holding the shared output-buffer/local register idiom.
+class StructuredBuilder {
+public:
+    StructuredBuilder(std::string graph_name, std::size_t task_count,
+                      const StandardGraphParams& params)
+        : params_(params) {
+        check_params(params);
+        RegisterFile regs;
+        buffers_.reserve(task_count);
+        locals_.reserve(task_count);
+        for (std::size_t i = 0; i < task_count; ++i) {
+            std::string buffer_name = "buf_";
+            buffer_name += std::to_string(i);
+            std::string local_name = "loc_";
+            local_name += std::to_string(i);
+            buffers_.push_back(regs.add_register(std::move(buffer_name), params.buffer_bits));
+            locals_.push_back(regs.add_register(std::move(local_name), params.local_bits));
+        }
+        graph_.emplace(std::move(graph_name), std::move(regs));
+        graph_->set_batch_count(params.batch_count);
+        predecessors_.resize(task_count);
+    }
+
+    /// Add task `index` (tasks must be added in index order) with the
+    /// given cost multiplier; registers = own buffer + local + all
+    /// producer buffers recorded via edge().
+    TaskId add_task(std::size_t index, const std::string& name, std::uint64_t cost_units) {
+        std::vector<RegisterId> used = {buffers_[index], locals_[index]};
+        for (TaskId p : predecessors_[index]) used.push_back(buffers_[p]);
+        const TaskId id =
+            graph_->add_task(name, cost_units * params_.base_exec_cycles, used);
+        if (id != index)
+            throw std::logic_error("StructuredBuilder: tasks must be added in index order");
+        return id;
+    }
+
+    /// Record a dependency; call for all edges into `dst` *before*
+    /// adding task `dst` so its register set includes producer buffers.
+    void note_dependency(std::size_t src, std::size_t dst) {
+        predecessors_[dst].push_back(static_cast<TaskId>(src));
+    }
+
+    /// Materialize the recorded dependencies as graph edges.
+    TaskGraph finish() {
+        for (std::size_t dst = 0; dst < predecessors_.size(); ++dst)
+            for (TaskId src : predecessors_[dst])
+                graph_->add_edge(src, static_cast<TaskId>(dst), params_.comm_cycles);
+        graph_->validate();
+        return std::move(*graph_);
+    }
+
+private:
+    StandardGraphParams params_;
+    std::optional<TaskGraph> graph_;
+    std::vector<RegisterId> buffers_;
+    std::vector<RegisterId> locals_;
+    std::vector<std::vector<TaskId>> predecessors_;
+};
+
+} // namespace
+
+TaskGraph fft_task_graph(std::uint32_t log2_points, const StandardGraphParams& params) {
+    if (log2_points == 0 || log2_points > 10)
+        throw std::invalid_argument("fft_task_graph: log2_points must be in [1, 10]");
+    const std::size_t ranks = log2_points;
+    const std::size_t per_rank = std::size_t{1} << (log2_points - 1);
+    const std::size_t task_count = ranks * per_rank;
+    StructuredBuilder builder("fft_" + std::to_string(std::size_t{1} << log2_points),
+                              task_count, params);
+
+    auto index_of = [&](std::size_t rank, std::size_t i) { return rank * per_rank + i; };
+    // Dependencies: butterfly i of rank r+1 consumes butterflies i and
+    // i XOR 2^r of rank r (the radix-2 data flow on butterfly indices).
+    for (std::size_t rank = 1; rank < ranks; ++rank) {
+        const std::size_t stride = std::size_t{1} << (rank - 1);
+        for (std::size_t i = 0; i < per_rank; ++i) {
+            builder.note_dependency(index_of(rank - 1, i), index_of(rank, i));
+            const std::size_t partner = i ^ stride;
+            if (partner != i && partner < per_rank)
+                builder.note_dependency(index_of(rank - 1, partner), index_of(rank, i));
+        }
+    }
+    for (std::size_t rank = 0; rank < ranks; ++rank)
+        for (std::size_t i = 0; i < per_rank; ++i) {
+            std::string name = "bfly_r";
+            name += std::to_string(rank);
+            name += "_";
+            name += std::to_string(i);
+            builder.add_task(index_of(rank, i), name, 1);
+        }
+    return builder.finish();
+}
+
+TaskGraph gaussian_elimination_task_graph(std::uint32_t n, const StandardGraphParams& params) {
+    if (n < 2 || n > 64)
+        throw std::invalid_argument("gaussian_elimination_task_graph: n must be in [2, 64]");
+    // Tasks: for k = 0..n-2: pivot_k, then updates u_{k,j} for
+    // j = k+1..n-1. Pivot k depends on the updates of column k-1;
+    // update (k, j) depends on pivot k.
+    std::size_t task_count = 0;
+    for (std::uint32_t k = 0; k + 1 < n; ++k) task_count += 1 + (n - k - 1);
+    StructuredBuilder builder("gaussian_" + std::to_string(n), task_count, params);
+
+    std::vector<std::size_t> pivot_index(n - 1);
+    std::vector<std::vector<std::size_t>> update_index(n - 1);
+    std::size_t next = 0;
+    for (std::uint32_t k = 0; k + 1 < n; ++k) {
+        pivot_index[k] = next++;
+        update_index[k].resize(n - k - 1);
+        for (std::uint32_t j = 0; j < n - k - 1; ++j) update_index[k][j] = next++;
+    }
+    for (std::uint32_t k = 0; k + 1 < n; ++k) {
+        if (k > 0) {
+            // Pivot k consumes every update of the previous column.
+            for (std::size_t u : update_index[k - 1]) builder.note_dependency(u, pivot_index[k]);
+        }
+        for (std::size_t u : update_index[k]) builder.note_dependency(pivot_index[k], u);
+        // Update (k, j) also refines the value update (k-1, j) produced.
+        if (k > 0)
+            for (std::uint32_t j = 0; j + 1 < n - k; ++j)
+                builder.note_dependency(update_index[k - 1][j + 1], update_index[k][j]);
+    }
+    next = 0;
+    for (std::uint32_t k = 0; k + 1 < n; ++k) {
+        builder.add_task(next++, "pivot_" + std::to_string(k), 2);
+        for (std::uint32_t j = 0; j < n - k - 1; ++j)
+            builder.add_task(next++, "upd_" + std::to_string(k) + "_" + std::to_string(k + 1 + j),
+                             1);
+    }
+    return builder.finish();
+}
+
+TaskGraph pipeline_task_graph(std::uint32_t stages, std::uint32_t width,
+                              const StandardGraphParams& params) {
+    if (stages == 0 || width == 0 || static_cast<std::uint64_t>(stages) * width > 4096)
+        throw std::invalid_argument("pipeline_task_graph: bad stages/width");
+    const std::size_t task_count = static_cast<std::size_t>(stages) * width;
+    StructuredBuilder builder(
+        "pipeline_" + std::to_string(stages) + "x" + std::to_string(width), task_count, params);
+    auto index_of = [&](std::uint32_t stage, std::uint32_t lane) {
+        return static_cast<std::size_t>(stage) * width + lane;
+    };
+    for (std::uint32_t stage = 1; stage < stages; ++stage)
+        for (std::uint32_t lane = 0; lane < width; ++lane) {
+            builder.note_dependency(index_of(stage - 1, lane), index_of(stage, lane));
+            if (width > 1) // cross-lane exchange keeps the stages coupled
+                builder.note_dependency(index_of(stage - 1, (lane + 1) % width),
+                                        index_of(stage, lane));
+        }
+    for (std::uint32_t stage = 0; stage < stages; ++stage)
+        for (std::uint32_t lane = 0; lane < width; ++lane) {
+            std::string name = "s";
+            name += std::to_string(stage);
+            name += "_l";
+            name += std::to_string(lane);
+            builder.add_task(index_of(stage, lane), name, 1 + (stage % 3));
+        }
+    return builder.finish();
+}
+
+} // namespace seamap

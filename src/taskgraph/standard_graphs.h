@@ -1,0 +1,54 @@
+// Classic structured task graphs used throughout the mapping/DSE
+// literature, complementing the MPEG-2 decoder and the TGFF-style
+// random workloads: FFT butterflies, Gaussian elimination and linear
+// processing pipelines. They provide controlled topology extremes
+// (wide, triangular, serial) for tests, examples and ablations.
+//
+// All builders attach a register model with the same structure as the
+// TGFF generator: each task owns an output buffer shared with all its
+// consumers plus private local state, so the localize-vs-duplicate
+// trade-off the paper studies is present in every workload.
+#pragma once
+
+#include "taskgraph/task_graph.h"
+
+#include <cstdint>
+
+namespace seamap {
+
+/// Common register/cost knobs for the structured builders.
+struct StandardGraphParams {
+    /// Execution cost per task in cycles (before any per-task scaling
+    /// the individual builders apply).
+    std::uint64_t base_exec_cycles = 2'000'000;
+    /// Communication cost per edge in cycles.
+    std::uint64_t comm_cycles = 400'000;
+    /// Output-buffer register bits per task (shared with consumers).
+    std::uint64_t buffer_bits = 1'500;
+    /// Private register bits per task.
+    std::uint64_t local_bits = 1'500;
+    /// Iterations flowing through the graph (pipelined batches).
+    std::uint64_t batch_count = 1;
+};
+
+/// Radix-2 FFT butterfly task graph with 2^log2_points input points:
+/// log2_points ranks of 2^(log2_points-1) butterflies each; every
+/// butterfly feeds two butterflies of the next rank. Wide and regular —
+/// the parallelism-friendly extreme.
+TaskGraph fft_task_graph(std::uint32_t log2_points,
+                         const StandardGraphParams& params = {});
+
+/// Gaussian-elimination task graph for an n x n system: for each pivot
+/// column k, one pivot task feeds n-k-1 update tasks, which feed the
+/// next pivot — the classic triangular DAG with shrinking parallelism.
+TaskGraph gaussian_elimination_task_graph(std::uint32_t n,
+                                          const StandardGraphParams& params = {});
+
+/// Linear pipeline of `stages` stages, each `width` parallel filters:
+/// stage s task i feeds stage s+1 task i (and wraps the boundary so the
+/// stages stay connected). With batch_count > 1 this is the classic
+/// software-pipelining workload.
+TaskGraph pipeline_task_graph(std::uint32_t stages, std::uint32_t width,
+                              const StandardGraphParams& params = {});
+
+} // namespace seamap

@@ -1,0 +1,139 @@
+#include "tgff/random_graph.h"
+
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace seamap {
+
+namespace {
+
+void check_params(const TgffParams& p) {
+    if (p.task_count == 0) throw std::invalid_argument("TgffParams: task_count must be >= 1");
+    if (p.cost_unit == 0) throw std::invalid_argument("TgffParams: cost_unit must be >= 1");
+    if (p.comp_cost_min == 0 || p.comp_cost_min > p.comp_cost_max)
+        throw std::invalid_argument("TgffParams: bad computation cost range");
+    if (p.comm_cost_min == 0 || p.comm_cost_min > p.comm_cost_max)
+        throw std::invalid_argument("TgffParams: bad communication cost range");
+    if (p.register_bits_min == 0 || p.register_bits_min > p.register_bits_max)
+        throw std::invalid_argument("TgffParams: bad register budget range");
+    if (p.out_degree_mean < 0.0)
+        throw std::invalid_argument("TgffParams: out_degree_mean must be >= 0");
+    if (p.max_out_degree_fraction < 0.0 || p.max_out_degree_fraction > 1.0)
+        throw std::invalid_argument("TgffParams: max_out_degree_fraction must be in [0, 1]");
+    if (p.output_buffer_fraction < 0.0 || p.output_buffer_fraction >= 1.0)
+        throw std::invalid_argument("TgffParams: output_buffer_fraction must be in [0, 1)");
+    if (p.batch_count == 0) throw std::invalid_argument("TgffParams: batch_count must be >= 1");
+}
+
+} // namespace
+
+TaskGraph generate_tgff_graph(const TgffParams& params, std::uint64_t seed) {
+    check_params(params);
+    Rng rng(seed);
+    const std::size_t n = params.task_count;
+
+    // Per-task register budgets, split into a shared output buffer and
+    // private local state. Every register gets at least one bit.
+    RegisterFile regs;
+    std::vector<RegisterId> out_buffer(n);
+    std::vector<RegisterId> local_state(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto budget = static_cast<std::uint64_t>(rng.uniform_int(
+            static_cast<std::int64_t>(params.register_bits_min),
+            static_cast<std::int64_t>(params.register_bits_max)));
+        auto buffer_bits = static_cast<std::uint64_t>(
+            std::llround(params.output_buffer_fraction * static_cast<double>(budget)));
+        buffer_bits = std::clamp<std::uint64_t>(buffer_bits, 1, budget > 1 ? budget - 1 : 1);
+        const std::uint64_t local_bits = std::max<std::uint64_t>(1, budget - buffer_bits);
+        out_buffer[i] = regs.add_register("out_" + std::to_string(i), buffer_bits);
+        local_state[i] = regs.add_register("loc_" + std::to_string(i), local_bits);
+    }
+
+    // Topology: forward edges only.
+    const auto max_out_degree = static_cast<std::size_t>(
+        params.max_out_degree_fraction * static_cast<double>(n));
+    std::vector<std::vector<std::size_t>> successors(n);
+    std::vector<bool> has_predecessor(n, false);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const std::size_t forward = n - 1 - i;
+        std::size_t degree = 0;
+        if (params.out_degree_mean > 0.0)
+            degree = static_cast<std::size_t>(std::llround(rng.exponential(params.out_degree_mean)));
+        degree = std::min({degree, max_out_degree, forward});
+        // Sample `degree` distinct targets among tasks i+1..n-1.
+        std::vector<std::size_t> candidates(forward);
+        for (std::size_t k = 0; k < forward; ++k) candidates[k] = i + 1 + k;
+        for (std::size_t d = 0; d < degree; ++d) {
+            const auto pick = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+            const std::size_t target = candidates[pick];
+            candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+            successors[i].push_back(target);
+            has_predecessor[target] = true;
+        }
+    }
+    // Connectivity: attach orphans (other than task 0) to a random
+    // earlier task that still has out-degree headroom under the N/2
+    // cap; if every earlier task is saturated (only possible in tiny
+    // graphs), fall back to the least-loaded one.
+    for (std::size_t j = 1; j < n; ++j) {
+        if (has_predecessor[j]) continue;
+        std::vector<std::size_t> with_headroom;
+        for (std::size_t i = 0; i < j; ++i)
+            if (successors[i].size() < std::max<std::size_t>(max_out_degree, 1))
+                with_headroom.push_back(i);
+        std::size_t parent;
+        if (!with_headroom.empty()) {
+            parent = with_headroom[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(with_headroom.size()) - 1))];
+        } else {
+            parent = 0;
+            for (std::size_t i = 1; i < j; ++i)
+                if (successors[i].size() < successors[parent].size()) parent = i;
+        }
+        successors[parent].push_back(j);
+        has_predecessor[j] = true;
+    }
+    for (auto& list : successors) std::sort(list.begin(), list.end());
+
+    // Materialize the graph. A task uses its own buffer + local state
+    // plus the output buffers of all its producers.
+    std::vector<std::vector<std::size_t>> predecessors(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j : successors[i]) predecessors[j].push_back(i);
+
+    TaskGraph graph(params.name + "_" + std::to_string(n), std::move(regs));
+    graph.set_batch_count(params.batch_count);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto cost_units = static_cast<std::uint64_t>(rng.uniform_int(
+            static_cast<std::int64_t>(params.comp_cost_min),
+            static_cast<std::int64_t>(params.comp_cost_max)));
+        std::vector<RegisterId> used = {out_buffer[i], local_state[i]};
+        for (std::size_t p : predecessors[i]) used.push_back(out_buffer[p]);
+        std::string task_name = "t";
+        task_name += std::to_string(i);
+        graph.add_task(std::move(task_name), cost_units * params.cost_unit, used);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j : successors[i]) {
+            const auto comm_units = static_cast<std::uint64_t>(rng.uniform_int(
+                static_cast<std::int64_t>(params.comm_cost_min),
+                static_cast<std::int64_t>(params.comm_cost_max)));
+            graph.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(j),
+                           comm_units * params.cost_unit);
+        }
+    }
+    graph.validate();
+    return graph;
+}
+
+double paper_tgff_deadline_seconds(std::size_t task_count) {
+    // 1000 * N/2 milliseconds.
+    return 0.5 * static_cast<double>(task_count);
+}
+
+} // namespace seamap

@@ -1,0 +1,60 @@
+// TGFF-style random task-graph generator, reproducing the paper's
+// random-workload recipe (Section V):
+//   - computation cost  ~ U[1, 30]  (x 3.5e6 clock cycles),
+//   - communication cost ~ U[1, 10] (x 3.5e6 clock cycles),
+//   - per-task register usage ~ U[1 kbit, 5 kbit],
+//   - number of dependents ~ exponential, clamped to [0, N/2].
+//
+// Topology: tasks are created in topological index order and edges only
+// point forward, so the result is a DAG by construction; orphaned tasks
+// are attached to a random earlier task to keep the graph connected.
+//
+// Register overlap (the paper never spells out its generator's sharing
+// structure, but without sharing the mapping/reliability trade-off
+// disappears): each task owns an *output buffer* register that is also
+// used by every consumer of its data, plus private local state. The
+// buffer fraction is a parameter; co-locating a producer with its
+// consumers therefore shares the buffer, while splitting them
+// duplicates it — exactly the localize-vs-distribute tension of
+// Section III.
+#pragma once
+
+#include "taskgraph/task_graph.h"
+
+#include <cstdint>
+#include <string>
+
+namespace seamap {
+
+/// Knobs of the generator; defaults reproduce the paper's recipe.
+struct TgffParams {
+    std::size_t task_count = 20;
+    /// Fig. 2-style cost quantum.
+    std::uint64_t cost_unit = 3'500'000;
+    std::uint32_t comp_cost_min = 1;
+    std::uint32_t comp_cost_max = 30;
+    std::uint32_t comm_cost_min = 1;
+    std::uint32_t comm_cost_max = 10;
+    /// Per-task total register budget, bits (1 kbit = 1000 bits).
+    std::uint64_t register_bits_min = 1'000;
+    std::uint64_t register_bits_max = 5'000;
+    /// Mean of the exponential out-degree distribution.
+    double out_degree_mean = 2.0;
+    /// Hard cap on out-degree as a fraction of N (paper: N/2).
+    double max_out_degree_fraction = 0.5;
+    /// Fraction of a task's register budget devoted to its shared
+    /// output buffer (the rest is private).
+    double output_buffer_fraction = 0.5;
+    /// Iterations of the graph flowing through the system.
+    std::uint64_t batch_count = 1;
+    std::string name = "tgff";
+};
+
+/// Generate a graph; identical (params, seed) pairs produce identical
+/// graphs. Throws std::invalid_argument on inconsistent parameters.
+TaskGraph generate_tgff_graph(const TgffParams& params, std::uint64_t seed);
+
+/// The paper's deadline rule for random graphs: 1000 * N/2 ms.
+double paper_tgff_deadline_seconds(std::size_t task_count);
+
+} // namespace seamap

@@ -1,0 +1,71 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace seamap {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+double Rng::uniform() {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+    if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+    if (mean < 0.0 || !std::isfinite(mean))
+        throw std::invalid_argument("Rng::poisson: mean must be finite and >= 0");
+    if (mean == 0.0) return 0;
+    // std::poisson_distribution<long long> is exact for any practical
+    // mean, but becomes slow and numerically delicate at extreme means;
+    // there a normal approximation is indistinguishable.
+    constexpr double normal_cutover = static_cast<double>(1LL << 31);
+    if (mean < normal_cutover) {
+        std::poisson_distribution<long long> dist(mean);
+        const long long draw = dist(engine_);
+        return static_cast<std::uint64_t>(draw < 0 ? 0 : draw);
+    }
+    const double draw = mean + std::sqrt(mean) * normal();
+    if (draw <= 0.0) return 0;
+    return static_cast<std::uint64_t>(std::llround(draw));
+}
+
+double Rng::normal() {
+    std::normal_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
+Rng Rng::fork(std::uint64_t child_id) {
+    // Mix the parent's current state with the child id; both inputs go
+    // through splitmix64 inside the child's constructor.
+    return Rng(splitmix64(engine_()) ^ splitmix64(child_id * 0xd1342543de82ef95ULL + 1));
+}
+
+} // namespace seamap

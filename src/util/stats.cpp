@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace seamap {
+
+void RunningStats::add(double x) {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stdev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double RunningStats::stderr_mean() const {
+    if (count_ < 2) return 0.0;
+    return stdev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::ci95_halfwidth() const { return 1.959964 * stderr_mean(); }
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double mean_of(std::span<const double> xs) {
+    RunningStats s;
+    for (double x : xs) s.add(x);
+    return s.mean();
+}
+
+double stdev_of(std::span<const double> xs) {
+    RunningStats s;
+    for (double x : xs) s.add(x);
+    return s.stdev();
+}
+
+double percent_change(double value, double baseline) {
+    if (baseline == 0.0)
+        throw std::invalid_argument("percent_change: baseline must be nonzero");
+    return 100.0 * (value - baseline) / baseline;
+}
+
+} // namespace seamap

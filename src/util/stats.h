@@ -1,0 +1,51 @@
+// Small statistics toolkit used by fault-injection campaigns and
+// benches: single-pass running moments (Welford), min/max tracking and
+// normal-approximation confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace seamap {
+
+/// Accumulates count/mean/variance/min/max in one pass (Welford's
+/// algorithm), numerically stable for long campaigns.
+class RunningStats {
+public:
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double mean() const;
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    double variance() const;
+    double stdev() const;
+    double min() const;
+    double max() const;
+    /// Standard error of the mean; 0 for fewer than two samples.
+    double stderr_mean() const;
+    /// Half-width of the 95% normal-approximation confidence interval
+    /// on the mean.
+    double ci95_halfwidth() const;
+
+    /// Merge another accumulator into this one (parallel reduction).
+    void merge(const RunningStats& other);
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Mean of a span; 0 for an empty span.
+double mean_of(std::span<const double> xs);
+
+/// Unbiased sample standard deviation of a span; 0 below two elements.
+double stdev_of(std::span<const double> xs);
+
+/// Relative change of `value` vs `baseline` in percent:
+/// 100 * (value - baseline) / baseline. Requires baseline != 0.
+double percent_change(double value, double baseline);
+
+} // namespace seamap

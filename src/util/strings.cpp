@@ -1,0 +1,65 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace seamap {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            break;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i > 0) out += sep;
+        out += pieces[i];
+    }
+    return out;
+}
+
+unsigned long long parse_u64(std::string_view text) {
+    const std::string_view t = trim(text);
+    unsigned long long value = 0;
+    const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc{} || ptr != t.data() + t.size())
+        throw std::invalid_argument("parse_u64: not an unsigned integer: '" + std::string(text) + "'");
+    return value;
+}
+
+double parse_double(std::string_view text) {
+    const std::string t{trim(text)};
+    if (t.empty()) throw std::invalid_argument("parse_double: empty input");
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(t, &consumed);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("parse_double: not a number: '" + t + "'");
+    }
+    if (consumed != t.size())
+        throw std::invalid_argument("parse_double: trailing junk in: '" + t + "'");
+    return value;
+}
+
+} // namespace seamap

@@ -1,0 +1,27 @@
+// Minimal string helpers used by serializers and CLIs; kept tiny on
+// purpose (SL-first: std::string/std::string_view do the heavy lifting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seamap {
+
+/// Split on a delimiter character; consecutive delimiters yield empty
+/// fields, like most CSV readers.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Parse a non-negative integer; throws std::invalid_argument on junk.
+unsigned long long parse_u64(std::string_view text);
+
+/// Parse a double; throws std::invalid_argument on junk.
+double parse_double(std::string_view text);
+
+} // namespace seamap

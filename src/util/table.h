@@ -1,0 +1,45 @@
+// Column-aligned table rendering for benches and examples. Supports
+// plain-text (aligned), CSV and GitHub-markdown output so bench
+// binaries can print paper-style tables and machine-readable rows from
+// the same data.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace seamap {
+
+/// Numeric formatting helpers shared by table cells and log lines.
+std::string fmt_double(double value, int precision = 2);
+std::string fmt_sci(double value, int precision = 2);
+std::string fmt_percent(double value, int precision = 1);
+/// Groups digits: 1234567 -> "1,234,567".
+std::string fmt_grouped(unsigned long long value);
+
+/// Table builder: set headers once, append rows of the same width,
+/// render in one of three formats.
+class TableWriter {
+public:
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /// Append one row; must have exactly as many cells as headers.
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t row_count() const { return rows_.size(); }
+    std::size_t column_count() const { return headers_.size(); }
+
+    /// Aligned plain-text rendering with a header underline.
+    void print_text(std::ostream& os) const;
+    /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+    void print_csv(std::ostream& os) const;
+    /// GitHub-flavoured markdown.
+    void print_markdown(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace seamap

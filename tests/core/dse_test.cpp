@@ -1,0 +1,149 @@
+#include "core/dse.h"
+
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+
+#include <gtest/gtest.h>
+
+namespace seamap {
+namespace {
+
+DseParams quick_dse(std::uint64_t iterations = 800) {
+    DseParams params;
+    params.search.max_iterations = iterations;
+    params.search.seed = 1;
+    return params;
+}
+
+TEST(Dse, ExploresAllScalingCombinationsOnFig8) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    const DseResult result = explorer.explore(graph, arch, 1.0, quick_dse());
+    // C(3+3-1, 2) = 10 combinations; with a loose 1 s deadline none are
+    // skipped and all are searched.
+    EXPECT_EQ(result.scalings_enumerated, 10u);
+    EXPECT_EQ(result.scalings_skipped_infeasible, 0u);
+    EXPECT_EQ(result.scalings_searched, 10u);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_TRUE(result.best->metrics.feasible);
+}
+
+TEST(Dse, BestIsMinimumPowerAmongFeasible) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    const DseResult result = explorer.explore(graph, arch, 0.2, quick_dse());
+    ASSERT_TRUE(result.best.has_value());
+    for (const DsePoint& point : result.feasible_points)
+        EXPECT_GE(point.metrics.power_mw,
+                  result.best->metrics.power_mw * (1.0 - 1e-9));
+}
+
+TEST(Dse, LooseDeadlinePicksDeepScaling) {
+    // With an extremely loose deadline the cheapest design runs every
+    // core at the slowest level (or leaves cores empty).
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    const DseResult result = explorer.explore(graph, arch, 1e6, quick_dse());
+    ASSERT_TRUE(result.best.has_value());
+    // The all-slowest combination is feasible, so nothing cheaper exists.
+    const DsePoint* slowest = nullptr;
+    for (const DsePoint& p : result.feasible_points)
+        if (p.levels == ScalingVector{3, 3}) slowest = &p;
+    ASSERT_NE(slowest, nullptr);
+    EXPECT_LE(result.best->metrics.power_mw, slowest->metrics.power_mw * (1.0 + 1e-9));
+}
+
+TEST(Dse, TightDeadlineSkipsSlowScalings) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    // A deadline moderately above the nominal-speed critical path:
+    // tight enough that the slowest scaling combinations cannot make it
+    // under any mapping (pre-skipped), loose enough that fast ones can.
+    const double critical_path_seconds =
+        static_cast<double>(graph.critical_path_cycles(false)) / 200e6;
+    const DseResult result =
+        explorer.explore(graph, arch, critical_path_seconds * 1.5, quick_dse(1'500));
+    EXPECT_GT(result.scalings_skipped_infeasible, 0u);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_TRUE(result.best->metrics.feasible);
+}
+
+TEST(Dse, ImpossibleDeadlineYieldsNoBest) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    const DseResult result = explorer.explore(graph, arch, 1e-9, quick_dse());
+    EXPECT_FALSE(result.best.has_value());
+    EXPECT_TRUE(result.feasible_points.empty());
+    EXPECT_EQ(result.scalings_skipped_infeasible, result.scalings_enumerated);
+}
+
+TEST(Dse, ParetoFrontIsNonDominatedAndSorted) {
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    const DseResult result =
+        explorer.explore(graph, arch, mpeg2_deadline_seconds(), quick_dse(600));
+    ASSERT_FALSE(result.pareto_front.empty());
+    for (std::size_t i = 1; i < result.pareto_front.size(); ++i) {
+        EXPECT_GE(result.pareto_front[i].metrics.power_mw,
+                  result.pareto_front[i - 1].metrics.power_mw);
+        // More power only stays on the front if it buys fewer SEUs.
+        EXPECT_LT(result.pareto_front[i].metrics.gamma,
+                  result.pareto_front[i - 1].metrics.gamma);
+    }
+    for (const DsePoint& front_point : result.pareto_front)
+        for (const DsePoint& other : result.feasible_points) {
+            const bool dominates = other.metrics.power_mw < front_point.metrics.power_mw &&
+                                   other.metrics.gamma < front_point.metrics.gamma;
+            EXPECT_FALSE(dominates);
+        }
+}
+
+TEST(Dse, RoundRobinSeedAblationStillWorks) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    DseParams params = quick_dse();
+    params.use_initial_sea_mapping = false;
+    const DseResult result = explorer.explore(graph, arch, 1.0, params);
+    EXPECT_TRUE(result.best.has_value());
+}
+
+TEST(Dse, TimeBudgetLimitsWork) {
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    DseParams params = quick_dse(200'000); // enormous per-scaling budget
+    params.search.time_budget_seconds = 0.02;
+    params.total_time_budget_seconds = 0.05;
+    const auto start = std::chrono::steady_clock::now();
+    const DseResult result =
+        explorer.explore(graph, arch, mpeg2_deadline_seconds(), params);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed.count(), 5.0);
+    EXPECT_LE(result.scalings_searched, result.scalings_enumerated);
+}
+
+TEST(ParetoFrontOf, FiltersDominatedPoints) {
+    auto make_point = [](double power, double gamma) {
+        DsePoint p;
+        p.metrics.power_mw = power;
+        p.metrics.gamma = gamma;
+        return p;
+    };
+    const auto front = pareto_front_of(
+        {make_point(1.0, 10.0), make_point(2.0, 5.0), make_point(3.0, 6.0),
+         make_point(1.5, 10.0), make_point(4.0, 1.0)});
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_DOUBLE_EQ(front[0].metrics.power_mw, 1.0);
+    EXPECT_DOUBLE_EQ(front[1].metrics.power_mw, 2.0);
+    EXPECT_DOUBLE_EQ(front[2].metrics.power_mw, 4.0);
+}
+
+} // namespace
+} // namespace seamap

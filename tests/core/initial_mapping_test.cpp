@@ -1,0 +1,119 @@
+#include "core/initial_mapping.h"
+
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+#include "tgff/random_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace seamap {
+namespace {
+
+EvaluationContext make_ctx(const TaskGraph& graph, const MpsocArchitecture& arch,
+                           ScalingVector levels, double deadline) {
+    return EvaluationContext{graph, arch, std::move(levels), SeuEstimator{SerModel{}}, deadline};
+}
+
+TEST(InitialSeaMapping, AlwaysCompleteOnMpeg2) {
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const auto ctx = make_ctx(graph, arch, {2, 2, 3, 2}, mpeg2_deadline_seconds());
+    const Mapping mapping = initial_sea_mapping(ctx);
+    EXPECT_TRUE(mapping.complete());
+}
+
+TEST(InitialSeaMapping, SingleCoreMapsEverythingToCoreZero) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(1, VoltageScalingTable::arm7_three_level());
+    const auto ctx = make_ctx(graph, arch, {1}, 1.0);
+    const Mapping mapping = initial_sea_mapping(ctx);
+    EXPECT_TRUE(mapping.complete());
+    EXPECT_EQ(mapping.task_count_on(0), graph.task_count());
+}
+
+TEST(InitialSeaMapping, EveryCorePopulatedWhenTasksSuffice) {
+    const TaskGraph graph = mpeg2_decoder_graph(); // 11 tasks
+    for (std::size_t cores = 2; cores <= 6; ++cores) {
+        const MpsocArchitecture arch(cores, VoltageScalingTable::arm7_three_level());
+        const auto ctx =
+            make_ctx(graph, arch, ScalingVector(cores, 2), mpeg2_deadline_seconds());
+        const Mapping mapping = initial_sea_mapping(ctx);
+        EXPECT_TRUE(mapping.complete());
+        EXPECT_EQ(mapping.used_core_count(), cores) << cores << " cores";
+    }
+}
+
+TEST(InitialSeaMapping, LocalizesSharersBetterThanRoundRobin) {
+    // The greedy follows dependency edges by minimum-SEU increment, so
+    // on the MPEG-2 decoder it must localize shared registers at least
+    // as well as blind round-robin dealing.
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const auto ctx = make_ctx(graph, arch, {2, 2, 2, 2}, mpeg2_deadline_seconds());
+    const Mapping greedy = initial_sea_mapping(ctx);
+    const Mapping rr = round_robin_mapping(graph, 4);
+    EXPECT_LE(total_register_bits(graph, greedy, 4), total_register_bits(graph, rr, 4));
+}
+
+TEST(InitialSeaMapping, RespectsPerCoreTimeBudget) {
+    // With a deadline close to the balanced share of work, no core
+    // except the overflow (last) core may blow the budget at mapping
+    // time.
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const ScalingVector levels = {1, 1, 1, 1};
+    const double total_seconds = static_cast<double>(graph.total_exec_cycles()) / 200e6;
+    const double budget = total_seconds / 3.0;
+    const auto ctx = make_ctx(graph, arch, levels, budget);
+    const Mapping mapping = initial_sea_mapping(ctx);
+    ASSERT_TRUE(mapping.complete());
+    const auto busy = per_core_busy_cycles(graph, mapping, 4);
+    for (std::size_t c = 0; c + 1 < 4; ++c) {
+        // The budget check fires *before* each addition, so one task of
+        // overshoot is permissible; two is a bug.
+        const double busy_seconds = static_cast<double>(busy[c]) / 200e6;
+        EXPECT_LT(busy_seconds, budget + 2.0 * total_seconds / 11.0) << "core " << c;
+    }
+}
+
+TEST(InitialSeaMapping, Fig8ExampleFillsThreeCores) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const auto ctx = make_ctx(graph, arch, {1, 2, 2}, k_fig8_deadline_seconds);
+    const Mapping mapping = initial_sea_mapping(ctx);
+    ASSERT_TRUE(mapping.complete());
+    EXPECT_EQ(mapping.used_core_count(), 3u);
+    // The source task seeds core 0 (the paper's walkthrough).
+    EXPECT_EQ(mapping.core_of(0), 0u);
+}
+
+/// Property sweep over random graphs and core counts: the greedy must
+/// always return a complete mapping that uses every core when N >= C.
+class InitialMappingProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(InitialMappingProperty, CompleteAndAllCoresUsed) {
+    const auto [task_count, core_count, seed] = GetParam();
+    TgffParams params;
+    params.task_count = task_count;
+    const TaskGraph graph = generate_tgff_graph(params, seed);
+    const MpsocArchitecture arch(core_count, VoltageScalingTable::arm7_three_level());
+    const auto ctx = make_ctx(graph, arch, ScalingVector(core_count, 2),
+                              paper_tgff_deadline_seconds(task_count));
+    const Mapping mapping = initial_sea_mapping(ctx);
+    EXPECT_TRUE(mapping.complete());
+    if (task_count >= core_count) { EXPECT_EQ(mapping.used_core_count(), core_count); }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphGrid, InitialMappingProperty,
+    testing::Combine(testing::Values<std::size_t>(6, 20, 40), testing::Values<std::size_t>(2, 4, 6),
+                     testing::Values<std::uint64_t>(1, 2, 3)),
+    [](const testing::TestParamInfo<InitialMappingProperty::ParamType>& param_info) {
+        std::string label; label += "n"; label += std::to_string(std::get<0>(param_info.param)); label += "_c"; label += std::to_string(std::get<1>(param_info.param)); label += "_s"; label += std::to_string(std::get<2>(param_info.param)); return label;
+    });
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,127 @@
+// End-to-end run of the full paper pipeline on the MPEG-2 decoder:
+// DSE (Fig. 4) -> best design -> fault-injection measurement, checking
+// the headline qualitative claims of Section V on our substrate.
+#include "baseline/simulated_annealing.h"
+#include "core/dse.h"
+#include "core/initial_mapping.h"
+#include "core/optimized_mapping.h"
+#include "sim/fault_injection.h"
+#include "taskgraph/mpeg2.h"
+
+#include <gtest/gtest.h>
+
+namespace seamap {
+namespace {
+
+DseParams pipeline_dse() {
+    DseParams params;
+    params.search.max_iterations = 1'500;
+    params.search.seed = 2024;
+    return params;
+}
+
+TEST(Mpeg2Pipeline, DseFindsAScaledDownFeasibleDesign) {
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const DesignSpaceExplorer explorer{SerModel{}};
+    const DseResult result =
+        explorer.explore(graph, arch, mpeg2_deadline_seconds(), pipeline_dse());
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_TRUE(result.best->metrics.feasible);
+
+    // DVS must have kicked in: the chosen design is cheaper than the
+    // same mapping at all-nominal speed.
+    const EvaluationContext nominal{graph, arch, arch.nominal_scaling(),
+                                    SeuEstimator{SerModel{}}, mpeg2_deadline_seconds()};
+    const DesignMetrics nominal_metrics = evaluate_design(nominal, result.best->mapping);
+    EXPECT_LT(result.best->metrics.power_mw, nominal_metrics.power_mw);
+    // And at least one core actually runs below nominal.
+    bool any_scaled = false;
+    for (ScalingLevel level : result.best->levels) any_scaled |= level > 1;
+    EXPECT_TRUE(any_scaled);
+}
+
+TEST(Mpeg2Pipeline, ProposedMapperBeatsParallelismBaselineOnGamma) {
+    // The Fig. 9 headline: at the same voltage scaling, the soft
+    // error-aware mapping experiences fewer SEUs than the
+    // parallelism-optimized (Exp:2) baseline mapping.
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const ScalingVector levels = {2, 2, 3, 2}; // Table II's chosen scaling
+    const EvaluationContext ctx{graph, arch, levels, SeuEstimator{SerModel{}},
+                                mpeg2_deadline_seconds()};
+
+    LocalSearchParams search;
+    search.max_iterations = 6'000;
+    search.seed = 99;
+    const LocalSearchResult proposed =
+        OptimizedMapping(search).optimize(ctx, initial_sea_mapping(ctx));
+    ASSERT_TRUE(proposed.found_feasible);
+
+    SaParams sa;
+    sa.iterations = 6'000;
+    sa.seed = 99;
+    const SaResult parallelism = SimulatedAnnealingMapper(sa).optimize(
+        ctx, MappingObjective::makespan, round_robin_mapping(graph, 4));
+    ASSERT_TRUE(parallelism.found_feasible);
+
+    EXPECT_LT(proposed.best_metrics.gamma, parallelism.best_metrics.gamma);
+}
+
+TEST(Mpeg2Pipeline, FaultInjectionConfirmsAnalyticRanking) {
+    // Measure two designs with the Poisson injector and check the
+    // *measured* ordering matches the analytic Gamma ordering — the
+    // paper's optimization-vs-measurement loop.
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const ScalingVector levels = {2, 2, 3, 2};
+    const EvaluationContext ctx{graph, arch, levels, SeuEstimator{SerModel{}},
+                                mpeg2_deadline_seconds()};
+
+    LocalSearchParams search;
+    search.max_iterations = 4'000;
+    search.seed = 7;
+    const LocalSearchResult good =
+        OptimizedMapping(search).optimize(ctx, initial_sea_mapping(ctx));
+    ASSERT_TRUE(good.found_feasible);
+    const Mapping bad = round_robin_mapping(graph, 4);
+    const DesignMetrics bad_metrics = evaluate_design(ctx, bad);
+    ASSERT_LT(good.best_metrics.gamma, bad_metrics.gamma);
+
+    const FaultInjector injector(SerModel{}, SimExposurePolicy::full_duration);
+    const Schedule good_schedule =
+        ListScheduler{}.schedule(graph, good.best_mapping, arch, levels);
+    const Schedule bad_schedule = ListScheduler{}.schedule(graph, bad, arch, levels);
+    const auto good_campaign = injector.run_campaign(graph, good.best_mapping, arch, levels,
+                                                     good_schedule, 60, 314);
+    const auto bad_campaign =
+        injector.run_campaign(graph, bad, arch, levels, bad_schedule, 60, 314);
+    EXPECT_LT(good_campaign.seu_stats.mean(), bad_campaign.seu_stats.mean());
+    // Measured means track their analytic predictions.
+    EXPECT_NEAR(good_campaign.seu_stats.mean(), good_campaign.analytic_gamma,
+                5.0 * std::sqrt(good_campaign.analytic_gamma / 60.0));
+}
+
+TEST(Mpeg2Pipeline, MoreCoresMeansMoreSeusAtTheChosenDesign) {
+    // Table III's second observation: with more cores the DSE scales
+    // voltages deeper and duplicates more registers, so the chosen
+    // design experiences more SEUs. The deadline must *bind* for the
+    // effect to appear (see EXPERIMENTS.md deadline normalization):
+    // 1.25x the two-core nominal-speed capacity forces 2 cores to run
+    // near nominal voltage while 6 cores reach the slowest level.
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const double deadline =
+        1.25 * static_cast<double>(graph.total_exec_cycles()) / (2.0 * 200e6);
+    const DesignSpaceExplorer explorer{SerModel{}};
+    double previous_gamma = 0.0;
+    for (const std::size_t cores : {2u, 6u}) {
+        const MpsocArchitecture arch(cores, VoltageScalingTable::arm7_three_level());
+        const DseResult result = explorer.explore(graph, arch, deadline, pipeline_dse());
+        ASSERT_TRUE(result.best.has_value()) << cores << " cores";
+        if (previous_gamma > 0.0) { EXPECT_GT(result.best->metrics.gamma, previous_gamma); }
+        previous_gamma = result.best->metrics.gamma;
+    }
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,138 @@
+// Property-based invariants of the list scheduler, swept over random
+// TGFF graphs, core counts, scalings and mappings. These pin the
+// execution model against structural bugs: dependency ordering, core
+// exclusivity, busy-time accounting and the lower bound.
+#include "sched/list_scheduler.h"
+#include "tgff/random_graph.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace seamap {
+namespace {
+
+Mapping random_mapping(const TaskGraph& graph, std::size_t cores, Rng& rng) {
+    Mapping mapping(graph.task_count(), cores);
+    for (TaskId t = 0; t < graph.task_count(); ++t)
+        mapping.assign(t, static_cast<CoreId>(
+                              rng.uniform_int(0, static_cast<std::int64_t>(cores) - 1)));
+    return mapping;
+}
+
+class ScheduleProperties
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(ScheduleProperties, InvariantsHoldForRandomMappings) {
+    const auto [task_count, core_count, seed] = GetParam();
+    TgffParams params;
+    params.task_count = task_count;
+    const TaskGraph graph = generate_tgff_graph(params, seed);
+    const MpsocArchitecture arch(core_count, VoltageScalingTable::arm7_three_level());
+    Rng rng(seed * 1000 + 17);
+
+    for (int trial = 0; trial < 5; ++trial) {
+        const Mapping mapping = random_mapping(graph, core_count, rng);
+        ScalingVector levels(core_count);
+        for (auto& level : levels)
+            level = static_cast<ScalingLevel>(rng.uniform_int(1, 3));
+        // The enumerated sequence is non-increasing; random vectors are
+        // fine for the scheduler itself.
+        const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+
+        // (1) Dependencies: consumer starts after producer finishes
+        // (plus comm when cross-core).
+        for (const Edge& e : graph.edges()) {
+            const auto& src = schedule.entries[e.src];
+            const auto& dst = schedule.entries[e.dst];
+            double arrival = src.finish_seconds;
+            if (mapping.core_of(e.src) != mapping.core_of(e.dst))
+                arrival += static_cast<double>(e.comm_cycles) /
+                           arch.frequency_hz(levels[mapping.core_of(e.src)]);
+            EXPECT_GE(dst.start_seconds, arrival - 1e-9)
+                << "edge " << e.src << "->" << e.dst;
+        }
+
+        // (2) Core exclusivity: tasks on one core never overlap.
+        for (std::size_t c = 0; c < core_count; ++c) {
+            std::vector<const ScheduledTask*> on_core;
+            for (const auto& entry : schedule.entries)
+                if (entry.core == c) on_core.push_back(&entry);
+            std::sort(on_core.begin(), on_core.end(),
+                      [](const ScheduledTask* a, const ScheduledTask* b) {
+                          return a->start_seconds < b->start_seconds;
+                      });
+            for (std::size_t i = 1; i < on_core.size(); ++i)
+                EXPECT_GE(on_core[i]->start_seconds,
+                          on_core[i - 1]->finish_seconds - 1e-9);
+        }
+
+        // (3) Latency is the max finish time.
+        double max_finish = 0.0;
+        for (const auto& entry : schedule.entries)
+            max_finish = std::max(max_finish, entry.finish_seconds);
+        EXPECT_NEAR(schedule.latency_seconds, max_finish, 1e-9);
+
+        // (4) Busy accounting: busy cycles equal exec + outbound
+        // cross-core comm, and utilization is in [0, 1].
+        std::vector<std::uint64_t> expected_busy(core_count, 0);
+        for (TaskId t = 0; t < graph.task_count(); ++t) {
+            expected_busy[mapping.core_of(t)] += graph.task(t).exec_cycles;
+            for (std::size_t idx : graph.out_edge_indices(t)) {
+                const Edge& e = graph.edge(idx);
+                if (mapping.core_of(e.dst) != mapping.core_of(t))
+                    expected_busy[mapping.core_of(t)] += e.comm_cycles;
+            }
+        }
+        for (std::size_t c = 0; c < core_count; ++c) {
+            EXPECT_EQ(schedule.core_busy_cycles[c], expected_busy[c]);
+            EXPECT_GE(schedule.utilization[c], 0.0);
+            EXPECT_LE(schedule.utilization[c], 1.0);
+        }
+
+        // (5) The mapping-independent lower bound really is one.
+        EXPECT_LE(tm_lower_bound_seconds(graph, arch, levels),
+                  schedule.total_time_seconds * (1.0 + 1e-9));
+
+        // (6) T_M composition: latency + (B-1) * II.
+        EXPECT_NEAR(schedule.total_time_seconds,
+                    schedule.latency_seconds +
+                        (static_cast<double>(graph.batch_count()) - 1.0) *
+                            schedule.initiation_interval_seconds,
+                    1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, ScheduleProperties,
+    testing::Combine(testing::Values<std::size_t>(8, 20, 50), testing::Values<std::size_t>(2, 4),
+                     testing::Values<std::uint64_t>(11, 22, 33)),
+    [](const testing::TestParamInfo<ScheduleProperties::ParamType>& param_info) {
+        std::string label; label += "n"; label += std::to_string(std::get<0>(param_info.param)); label += "_c"; label += std::to_string(std::get<1>(param_info.param)); label += "_s"; label += std::to_string(std::get<2>(param_info.param)); return label;
+    });
+
+TEST(SchedulePropertiesBatched, PipelinedTotalTimeScalesWithBatches) {
+    TgffParams params;
+    params.task_count = 15;
+    for (const std::uint64_t batches : {1ULL, 10ULL, 100ULL}) {
+        params.batch_count = batches;
+        const TaskGraph graph = generate_tgff_graph(params, 5);
+        const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+        const Mapping mapping = round_robin_mapping(graph, 3);
+        const Schedule schedule =
+            ListScheduler{}.schedule(graph, mapping, arch, {1, 1, 1});
+        // Same whole-run work regardless of batching.
+        EXPECT_EQ(schedule.core_busy_cycles[0],
+                  per_core_busy_cycles(graph, mapping, 3)[0]);
+        // Deeper batching pipelines better: total time shrinks toward
+        // the bottleneck bound as B grows.
+        EXPECT_GE(schedule.total_time_seconds,
+                  *std::max_element(schedule.core_busy_seconds.begin(),
+                                    schedule.core_busy_seconds.end()) -
+                      1e-9);
+    }
+}
+
+} // namespace
+} // namespace seamap

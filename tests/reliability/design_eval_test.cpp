@@ -1,0 +1,64 @@
+#include "reliability/design_eval.h"
+
+#include "taskgraph/fig8.h"
+
+#include <gtest/gtest.h>
+
+namespace seamap {
+namespace {
+
+TEST(DesignEval, MetricsAreInternallyConsistent) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2}, SeuEstimator{SerModel{}},
+                                k_fig8_deadline_seconds};
+    const Mapping mapping = round_robin_mapping(graph, 3);
+
+    Schedule schedule;
+    const DesignMetrics metrics = evaluate_design(ctx, mapping, schedule);
+
+    EXPECT_DOUBLE_EQ(metrics.tm_seconds, schedule.total_time_seconds);
+    EXPECT_DOUBLE_EQ(metrics.latency_seconds, schedule.latency_seconds);
+    EXPECT_EQ(metrics.register_bits, total_register_bits(graph, mapping, 3));
+    EXPECT_EQ(metrics.feasible, schedule.meets_deadline(k_fig8_deadline_seconds));
+    EXPECT_DOUBLE_EQ(
+        metrics.power_mw,
+        arch.power_model().mpsoc_power_mw(ctx.levels, schedule.utilization));
+    const double gamma =
+        ctx.estimator.estimate(graph, mapping, arch, ctx.levels, schedule).total;
+    EXPECT_DOUBLE_EQ(metrics.gamma, gamma);
+    EXPECT_GT(metrics.gamma, 0.0);
+    EXPECT_GT(metrics.power_mw, 0.0);
+}
+
+TEST(DesignEval, ImpossibleDeadlineIsInfeasible) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2}, SeuEstimator{SerModel{}}, 1e-6};
+    const DesignMetrics metrics = evaluate_design(ctx, round_robin_mapping(graph, 3));
+    EXPECT_FALSE(metrics.feasible);
+}
+
+TEST(DesignEval, IncompleteMappingThrows) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2}, SeuEstimator{SerModel{}}, 1.0};
+    const Mapping incomplete(graph.task_count(), 3);
+    EXPECT_THROW((void)evaluate_design(ctx, incomplete), std::invalid_argument);
+}
+
+TEST(DesignEval, FasterScalingIsMorePowerHungryAndMoreReliable) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = round_robin_mapping(graph, 3);
+    const EvaluationContext fast{graph, arch, {1, 1, 1}, SeuEstimator{SerModel{}}, 1.0};
+    const EvaluationContext slow{graph, arch, {3, 3, 3}, SeuEstimator{SerModel{}}, 1.0};
+    const DesignMetrics fast_metrics = evaluate_design(fast, mapping);
+    const DesignMetrics slow_metrics = evaluate_design(slow, mapping);
+    EXPECT_GT(fast_metrics.power_mw, slow_metrics.power_mw);
+    EXPECT_LT(fast_metrics.gamma, slow_metrics.gamma);
+    EXPECT_LT(fast_metrics.tm_seconds, slow_metrics.tm_seconds);
+}
+
+} // namespace
+} // namespace seamap

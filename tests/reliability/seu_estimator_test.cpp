@@ -1,0 +1,115 @@
+#include "reliability/seu_estimator.h"
+
+#include "taskgraph/mpeg2.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace seamap {
+namespace {
+
+TaskGraph make_two_task_graph() {
+    RegisterFile regs;
+    const RegisterId ra = regs.add_register("ra", 1000);
+    const RegisterId rb = regs.add_register("rb", 2000);
+    TaskGraph graph("two", std::move(regs));
+    graph.add_task("a", 100'000'000, std::array{ra});
+    graph.add_task("b", 100'000'000, std::array{rb});
+    graph.add_edge(0, 1, 0);
+    return graph;
+}
+
+TEST(SeuEstimator, FullDurationHandComputed) {
+    const TaskGraph graph = make_two_task_graph();
+    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_three_level());
+    Mapping mapping(2, 2);
+    mapping.assign(0, 0);
+    mapping.assign(1, 1);
+    const ScalingVector levels = {1, 1};
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+    ASSERT_NEAR(schedule.total_time_seconds, 1.0, 1e-12); // 0.5 s + 0.5 s chain
+
+    const SeuEstimator estimator{SerModel{}, ExposurePolicy::full_duration};
+    const SeuBreakdown breakdown = estimator.estimate(graph, mapping, arch, levels, schedule);
+    // Gamma_i = R_i * T_M * ser_time(1 V) = bits * 1.0 s * 0.2.
+    EXPECT_NEAR(breakdown.per_core[0], 1000.0 * 1.0 * 0.2, 1e-9);
+    EXPECT_NEAR(breakdown.per_core[1], 2000.0 * 1.0 * 0.2, 1e-9);
+    EXPECT_NEAR(breakdown.total, 600.0, 1e-9);
+}
+
+TEST(SeuEstimator, BusyOnlyUsesCoreBusyTime) {
+    const TaskGraph graph = make_two_task_graph();
+    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_three_level());
+    Mapping mapping(2, 2);
+    mapping.assign(0, 0);
+    mapping.assign(1, 1);
+    const ScalingVector levels = {1, 1};
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+
+    const SeuEstimator estimator{SerModel{}, ExposurePolicy::busy_only};
+    const SeuBreakdown breakdown = estimator.estimate(graph, mapping, arch, levels, schedule);
+    // Each core is busy 0.5 s.
+    EXPECT_NEAR(breakdown.per_core[0], 1000.0 * 0.5 * 0.2, 1e-9);
+    EXPECT_NEAR(breakdown.per_core[1], 2000.0 * 0.5 * 0.2, 1e-9);
+}
+
+TEST(SeuEstimator, UnusedCoreContributesNothing) {
+    const TaskGraph graph = make_two_task_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = single_core_mapping(graph, 3);
+    const ScalingVector levels = {1, 1, 1};
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+    const SeuEstimator estimator{SerModel{}};
+    const SeuBreakdown breakdown = estimator.estimate(graph, mapping, arch, levels, schedule);
+    EXPECT_GT(breakdown.per_core[0], 0.0);
+    EXPECT_EQ(breakdown.per_core[1], 0.0);
+    EXPECT_EQ(breakdown.per_core[2], 0.0);
+}
+
+TEST(SeuEstimator, LowerVoltageCoreExperiencesMore) {
+    const TaskGraph graph = make_two_task_graph();
+    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_three_level());
+    Mapping mapping(2, 2);
+    mapping.assign(0, 0);
+    mapping.assign(1, 1);
+    const SeuEstimator estimator{SerModel{}};
+    const ScalingVector nominal = {1, 1};
+    const ScalingVector scaled = {1, 3}; // core 1 at 0.44 V
+    const Schedule sched_nominal = ListScheduler{}.schedule(graph, mapping, arch, nominal);
+    const Schedule sched_scaled = ListScheduler{}.schedule(graph, mapping, arch, scaled);
+    const auto g_nominal = estimator.estimate(graph, mapping, arch, nominal, sched_nominal);
+    const auto g_scaled = estimator.estimate(graph, mapping, arch, scaled, sched_scaled);
+    // Per unit of exposure, core 1's rate grows by e^{k*0.56}; exposure
+    // also grows because T_M stretches.
+    EXPECT_GT(g_scaled.per_core[1] / g_scaled.total, g_nominal.per_core[1] / g_nominal.total);
+    EXPECT_GT(g_scaled.total, g_nominal.total);
+}
+
+TEST(SeuEstimator, CoreGammaPrimitive) {
+    const SeuEstimator estimator{SerModel{}};
+    EXPECT_NEAR(estimator.core_gamma(1000, 2.0, 1.0), 1000.0 * 2.0 * 0.2, 1e-9);
+    EXPECT_NEAR(estimator.core_gamma(0, 2.0, 1.0), 0.0, 1e-12);
+}
+
+// The calibration reproduction of Observation 3 / Fig. 3(b)->(c):
+// scaling every core 1 -> 2 doubles T_M and multiplies Gamma by ~2.5.
+TEST(SeuEstimator, Observation3ScalingAllCoresBy2) {
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    const SeuEstimator estimator{SerModel{}};
+
+    const ScalingVector all1 = {1, 1, 1, 1};
+    const ScalingVector all2 = {2, 2, 2, 2};
+    const Schedule s1 = ListScheduler{}.schedule(graph, mapping, arch, all1);
+    const Schedule s2 = ListScheduler{}.schedule(graph, mapping, arch, all2);
+    EXPECT_NEAR(s2.total_time_seconds / s1.total_time_seconds, 2.0, 1e-9);
+
+    const double g1 = estimator.estimate(graph, mapping, arch, all1, s1).total;
+    const double g2 = estimator.estimate(graph, mapping, arch, all2, s2).total;
+    EXPECT_NEAR(g2 / g1, 2.5, 1e-3);
+}
+
+} // namespace
+} // namespace seamap

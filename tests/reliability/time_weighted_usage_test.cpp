@@ -1,0 +1,89 @@
+// Tests for the eq. (4) measured register usage: the execution-time-
+// weighted average of live bits, versus the eq. (8) union the optimizer
+// uses.
+#include "reliability/register_usage.h"
+
+#include "sched/list_scheduler.h"
+#include "taskgraph/fig8.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace seamap {
+namespace {
+
+TEST(TimeWeightedUsage, HandComputedTwoTasks) {
+    RegisterFile regs;
+    const RegisterId ra = regs.add_register("ra", 1000);
+    const RegisterId rb = regs.add_register("rb", 3000);
+    TaskGraph graph("two", std::move(regs));
+    graph.add_task("a", 100, std::array{ra});
+    graph.add_task("b", 100, std::array{rb});
+    graph.add_edge(0, 1, 0);
+    Mapping mapping(2, 1);
+    mapping.assign(0, 0);
+    mapping.assign(1, 0);
+    // a runs 1 s, b runs 3 s: average = (1000*1 + 3000*3) / 4 = 2500.
+    const std::array<double, 2> exec = {1.0, 3.0};
+    const auto avg = time_weighted_register_bits(graph, mapping, exec, 1);
+    ASSERT_EQ(avg.size(), 1u);
+    EXPECT_NEAR(avg[0], 2500.0, 1e-9);
+}
+
+TEST(TimeWeightedUsage, NeverExceedsUnion) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = round_robin_mapping(graph, 3);
+    const Schedule schedule =
+        ListScheduler{}.schedule(graph, mapping, arch, {1, 2, 2});
+    std::vector<double> exec(graph.task_count());
+    for (TaskId t = 0; t < graph.task_count(); ++t)
+        exec[t] = schedule.entries[t].finish_seconds - schedule.entries[t].start_seconds;
+    const auto average = time_weighted_register_bits(graph, mapping, exec, 3);
+    const auto unions = per_core_register_bits(graph, mapping, 3);
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_LE(average[c], static_cast<double>(unions[c]) + 1e-9) << "core " << c;
+        EXPECT_GT(average[c], 0.0) << "core " << c;
+    }
+}
+
+TEST(TimeWeightedUsage, EqualsUnionWhenTasksShareEverything) {
+    RegisterFile regs;
+    const RegisterId shared = regs.add_register("shared", 2048);
+    TaskGraph graph("same", std::move(regs));
+    graph.add_task("a", 100, std::array{shared});
+    graph.add_task("b", 200, std::array{shared});
+    graph.add_edge(0, 1, 0);
+    Mapping mapping(2, 1);
+    mapping.assign(0, 0);
+    mapping.assign(1, 0);
+    const std::array<double, 2> exec = {0.5, 1.0};
+    const auto average = time_weighted_register_bits(graph, mapping, exec, 1);
+    EXPECT_NEAR(average[0], 2048.0, 1e-9);
+}
+
+TEST(TimeWeightedUsage, EmptyCoreReportsZero) {
+    const TaskGraph graph = fig8_example_graph();
+    const Mapping mapping = single_core_mapping(graph, 3);
+    const std::vector<double> exec(graph.task_count(), 1.0);
+    const auto average = time_weighted_register_bits(graph, mapping, exec, 3);
+    EXPECT_GT(average[0], 0.0);
+    EXPECT_EQ(average[1], 0.0);
+    EXPECT_EQ(average[2], 0.0);
+}
+
+TEST(TimeWeightedUsage, Validation) {
+    const TaskGraph graph = fig8_example_graph();
+    const Mapping mapping = single_core_mapping(graph, 2);
+    const std::vector<double> wrong_size(3, 1.0);
+    EXPECT_THROW((void)time_weighted_register_bits(graph, mapping, wrong_size, 2),
+                 std::invalid_argument);
+    std::vector<double> negative(graph.task_count(), 1.0);
+    negative[0] = -1.0;
+    EXPECT_THROW((void)time_weighted_register_bits(graph, mapping, negative, 2),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,57 @@
+#include "sched/gantt.h"
+
+#include "taskgraph/fig8.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace seamap {
+namespace {
+
+Schedule make_schedule() {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    return ListScheduler{}.schedule(graph, round_robin_mapping(graph, 3), arch, {1, 2, 2});
+}
+
+TEST(Gantt, OneRowPerCore) {
+    const TaskGraph graph = fig8_example_graph();
+    const std::string out = gantt_to_string(graph, make_schedule());
+    EXPECT_NE(out.find("core 0 |"), std::string::npos);
+    EXPECT_NE(out.find("core 1 |"), std::string::npos);
+    EXPECT_NE(out.find("core 2 |"), std::string::npos);
+    EXPECT_NE(out.find("horizon"), std::string::npos);
+}
+
+TEST(Gantt, TaskMarksAppear) {
+    const TaskGraph graph = fig8_example_graph();
+    const std::string out = gantt_to_string(graph, make_schedule(), 60);
+    // Fig-8 task names all start with 't'; the timeline must contain
+    // executed spans, not only idle dots.
+    EXPECT_NE(out.find('t'), std::string::npos);
+    EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleProducesNothing) {
+    const TaskGraph graph = fig8_example_graph();
+    Schedule empty;
+    std::ostringstream os;
+    write_gantt(os, graph, empty);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(ScheduleCsv, OneLinePerTaskPlusHeader) {
+    const TaskGraph graph = fig8_example_graph();
+    std::ostringstream os;
+    write_schedule_csv(os, graph, make_schedule());
+    const std::string out = os.str();
+    std::size_t lines = 0;
+    for (char ch : out)
+        if (ch == '\n') ++lines;
+    EXPECT_EQ(lines, graph.task_count() + 1);
+    EXPECT_NE(out.find("task,name,core,start_seconds,finish_seconds"), std::string::npos);
+}
+
+} // namespace
+} // namespace seamap

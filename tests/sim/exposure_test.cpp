@@ -1,0 +1,136 @@
+#include "sim/exposure.h"
+
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+
+#include <gtest/gtest.h>
+
+namespace seamap {
+namespace {
+
+struct Fixture {
+    TaskGraph graph = fig8_example_graph();
+    MpsocArchitecture arch{3, VoltageScalingTable::arm7_three_level()};
+    ScalingVector levels = {1, 2, 2};
+    Mapping mapping = round_robin_mapping(graph, 3);
+    Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+};
+
+TEST(Exposure, FullDurationOneIntervalPerUsedCore) {
+    Fixture f;
+    const auto profile =
+        build_exposure_profile(f.graph, f.mapping, f.arch, f.schedule,
+                               SimExposurePolicy::full_duration);
+    ASSERT_EQ(profile.size(), 3u); // all three cores hold tasks
+    for (const auto& interval : profile) {
+        EXPECT_DOUBLE_EQ(interval.duration_seconds, f.schedule.total_time_seconds);
+        EXPECT_FALSE(interval.live.empty());
+    }
+}
+
+TEST(Exposure, UnusedCoreHasNoInterval) {
+    Fixture f;
+    const Mapping localized = single_core_mapping(f.graph, 3);
+    const Schedule schedule =
+        ListScheduler{}.schedule(f.graph, localized, f.arch, f.levels);
+    const auto profile = build_exposure_profile(f.graph, localized, f.arch, schedule,
+                                                SimExposurePolicy::full_duration);
+    ASSERT_EQ(profile.size(), 1u);
+    EXPECT_EQ(profile[0].core, 0u);
+}
+
+TEST(Exposure, BusyOnlyUsesBusySeconds) {
+    Fixture f;
+    const auto profile = build_exposure_profile(f.graph, f.mapping, f.arch, f.schedule,
+                                                SimExposurePolicy::busy_only);
+    ASSERT_EQ(profile.size(), 3u);
+    for (const auto& interval : profile)
+        EXPECT_DOUBLE_EQ(interval.duration_seconds,
+                         f.schedule.core_busy_seconds[interval.core]);
+}
+
+TEST(Exposure, RunningTaskOneIntervalPerTask) {
+    Fixture f;
+    const auto profile = build_exposure_profile(f.graph, f.mapping, f.arch, f.schedule,
+                                                SimExposurePolicy::running_task);
+    ASSERT_EQ(profile.size(), f.graph.task_count());
+    for (TaskId t = 0; t < f.graph.task_count(); ++t) {
+        EXPECT_EQ(profile[t].live, f.graph.task(t).registers);
+        const double exec = f.schedule.entries[t].finish_seconds -
+                            f.schedule.entries[t].start_seconds;
+        EXPECT_NEAR(profile[t].duration_seconds, exec, 1e-12); // batch = 1
+    }
+}
+
+TEST(Exposure, RunningTaskScalesWithBatchCount) {
+    TaskGraph graph = fig8_example_graph();
+    graph.set_batch_count(10);
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const ScalingVector levels = {1, 2, 2};
+    const Mapping mapping = round_robin_mapping(graph, 3);
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+    const auto profile = build_exposure_profile(graph, mapping, arch, schedule,
+                                                SimExposurePolicy::running_task);
+    // Whole-run exposure of task 0: 10 iterations of its per-iteration time.
+    const double per_iter =
+        schedule.entries[0].finish_seconds - schedule.entries[0].start_seconds;
+    EXPECT_NEAR(profile[0].duration_seconds, per_iter * 10.0, 1e-12);
+}
+
+TEST(Exposure, IncompleteMappingThrows) {
+    Fixture f;
+    Mapping incomplete(f.graph.task_count(), 3);
+    incomplete.assign(0, 0);
+    EXPECT_THROW((void)build_exposure_profile(f.graph, incomplete, f.arch, f.schedule,
+                                              SimExposurePolicy::full_duration),
+                 std::invalid_argument);
+}
+
+TEST(Exposure, ExpectedSeusMatchesAnalyticFullDuration) {
+    Fixture f;
+    const SerModel ser;
+    const auto profile = build_exposure_profile(f.graph, f.mapping, f.arch, f.schedule,
+                                                SimExposurePolicy::full_duration);
+    const double from_profile = expected_seus(profile, f.graph, f.arch, f.levels, ser);
+    const SeuEstimator estimator{ser, ExposurePolicy::full_duration};
+    const double analytic =
+        estimator.estimate(f.graph, f.mapping, f.arch, f.levels, f.schedule).total;
+    EXPECT_NEAR(from_profile, analytic, analytic * 1e-12);
+}
+
+TEST(Exposure, ExpectedSeusMatchesAnalyticBusyOnly) {
+    Fixture f;
+    const SerModel ser;
+    const auto profile = build_exposure_profile(f.graph, f.mapping, f.arch, f.schedule,
+                                                SimExposurePolicy::busy_only);
+    const double from_profile = expected_seus(profile, f.graph, f.arch, f.levels, ser);
+    const SeuEstimator estimator{ser, ExposurePolicy::busy_only};
+    const double analytic =
+        estimator.estimate(f.graph, f.mapping, f.arch, f.levels, f.schedule).total;
+    EXPECT_NEAR(from_profile, analytic, analytic * 1e-12);
+}
+
+TEST(Exposure, PolicyConversion) {
+    EXPECT_EQ(to_sim_policy(ExposurePolicy::full_duration), SimExposurePolicy::full_duration);
+    EXPECT_EQ(to_sim_policy(ExposurePolicy::busy_only), SimExposurePolicy::busy_only);
+}
+
+TEST(Exposure, Mpeg2BatchedFullDurationDominatesRunningTask) {
+    // Union-over-the-whole-run exposure must upper-bound the per-task
+    // exposure for the same design.
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const ScalingVector levels = {2, 2, 2, 2};
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+    const SerModel ser;
+    const auto full = build_exposure_profile(graph, mapping, arch, schedule,
+                                             SimExposurePolicy::full_duration);
+    const auto task = build_exposure_profile(graph, mapping, arch, schedule,
+                                             SimExposurePolicy::running_task);
+    EXPECT_GT(expected_seus(full, graph, arch, levels, ser),
+              expected_seus(task, graph, arch, levels, ser));
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,45 @@
+#include "taskgraph/dot.h"
+
+#include "taskgraph/fig8.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+namespace seamap {
+namespace {
+
+TEST(Dot, StructuralExportContainsNodesAndEdges) {
+    const TaskGraph graph = fig8_example_graph();
+    const std::string dot = to_dot(graph);
+    EXPECT_NE(dot.find("digraph \"fig8_example\""), std::string::npos);
+    for (TaskId t = 0; t < graph.task_count(); ++t) {
+        std::ostringstream node;
+        node << "t" << t << " [label=\"" << graph.task(t).name;
+        EXPECT_NE(dot.find(node.str()), std::string::npos) << "missing node " << t;
+    }
+    EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+    EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(Dot, MappedExportColorsByCore) {
+    const TaskGraph graph = fig8_example_graph();
+    const std::array<std::uint32_t, 6> cores = {0, 1, 0, 1, 2, 2};
+    std::ostringstream os;
+    write_dot_mapped(os, graph, cores);
+    const std::string dot = os.str();
+    EXPECT_NE(dot.find("core 0"), std::string::npos);
+    EXPECT_NE(dot.find("core 2"), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, MappedExportChecksSize) {
+    const TaskGraph graph = fig8_example_graph();
+    const std::array<std::uint32_t, 2> too_short = {0, 1};
+    std::ostringstream os;
+    EXPECT_THROW(write_dot_mapped(os, graph, too_short), std::invalid_argument);
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,119 @@
+#include "taskgraph/serialization.h"
+
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace seamap {
+namespace {
+
+void expect_graphs_equal(const TaskGraph& a, const TaskGraph& b) {
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.batch_count(), b.batch_count());
+    ASSERT_EQ(a.task_count(), b.task_count());
+    ASSERT_EQ(a.edge_count(), b.edge_count());
+    ASSERT_EQ(a.register_file().size(), b.register_file().size());
+    for (RegisterId r = 0; r < a.register_file().size(); ++r) {
+        EXPECT_EQ(a.register_file().name(r), b.register_file().name(r));
+        EXPECT_EQ(a.register_file().bits(r), b.register_file().bits(r));
+    }
+    for (TaskId t = 0; t < a.task_count(); ++t) {
+        EXPECT_EQ(a.task(t).name, b.task(t).name);
+        EXPECT_EQ(a.task(t).exec_cycles, b.task(t).exec_cycles);
+        EXPECT_EQ(a.task(t).registers, b.task(t).registers);
+    }
+    for (std::size_t e = 0; e < a.edge_count(); ++e) {
+        EXPECT_EQ(a.edge(e).src, b.edge(e).src);
+        EXPECT_EQ(a.edge(e).dst, b.edge(e).dst);
+        EXPECT_EQ(a.edge(e).comm_cycles, b.edge(e).comm_cycles);
+    }
+}
+
+TEST(Serialization, RoundTripMpeg2) {
+    const TaskGraph original = mpeg2_decoder_graph();
+    std::stringstream buffer;
+    write_task_graph(buffer, original);
+    const TaskGraph reloaded = read_task_graph(buffer);
+    expect_graphs_equal(original, reloaded);
+}
+
+TEST(Serialization, RoundTripFig8) {
+    const TaskGraph original = fig8_example_graph();
+    std::stringstream buffer;
+    write_task_graph(buffer, original);
+    const TaskGraph reloaded = read_task_graph(buffer);
+    expect_graphs_equal(original, reloaded);
+}
+
+TEST(Serialization, CommentsAndBlankLinesIgnored) {
+    std::stringstream buffer;
+    buffer << "# a comment\n\n"
+           << "graph tiny\n"
+           << "batches 2\n"
+           << "# registers follow\n"
+           << "registers 1\n"
+           << "reg r0 32\n"
+           << "tasks 2\n"
+           << "task a 10 1 0\n"
+           << "task b 20 0\n"
+           << "edges 1\n"
+           << "edge 0 1 5\n";
+    const TaskGraph graph = read_task_graph(buffer);
+    EXPECT_EQ(graph.name(), "tiny");
+    EXPECT_EQ(graph.batch_count(), 2u);
+    EXPECT_EQ(graph.task_count(), 2u);
+    EXPECT_EQ(graph.task(0).exec_cycles, 10u);
+    EXPECT_EQ(graph.edge(0).comm_cycles, 5u);
+}
+
+TEST(Serialization, WrongKeywordReportsLine) {
+    std::stringstream buffer;
+    buffer << "graph g\nbatches 1\nNOT_REGISTERS 0\n";
+    try {
+        (void)read_task_graph(buffer);
+        FAIL() << "expected parse error";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("registers"), std::string::npos);
+    }
+}
+
+TEST(Serialization, TruncatedInputThrows) {
+    std::stringstream buffer;
+    buffer << "graph g\nbatches 1\nregisters 1\n"; // register line missing
+    EXPECT_THROW((void)read_task_graph(buffer), std::invalid_argument);
+}
+
+TEST(Serialization, RegisterListLengthMismatchThrows) {
+    std::stringstream buffer;
+    buffer << "graph g\nbatches 1\nregisters 1\nreg r0 8\n"
+           << "tasks 1\ntask a 10 2 0\n"; // claims 2 registers, lists 1
+    EXPECT_THROW((void)read_task_graph(buffer), std::invalid_argument);
+}
+
+TEST(Serialization, CyclicInputFailsValidation) {
+    std::stringstream buffer;
+    buffer << "graph g\nbatches 1\nregisters 0\n"
+           << "tasks 2\ntask a 1 0\ntask b 1 0\n"
+           << "edges 2\nedge 0 1 1\nedge 1 0 1\n";
+    EXPECT_THROW((void)read_task_graph(buffer), std::invalid_argument);
+}
+
+TEST(Serialization, FileRoundTrip) {
+    const TaskGraph original = fig8_example_graph();
+    const std::string path = testing::TempDir() + "/fig8_roundtrip.tg";
+    save_task_graph(path, original);
+    const TaskGraph reloaded = load_task_graph(path);
+    expect_graphs_equal(original, reloaded);
+}
+
+TEST(Serialization, MissingFileThrows) {
+    EXPECT_THROW((void)load_task_graph("/nonexistent/definitely/missing.tg"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace seamap

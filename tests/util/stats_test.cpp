@@ -1,0 +1,103 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+TEST(RunningStats, EmptyIsAllZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stdev(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownDataset) {
+    // {2,4,4,4,5,5,7,9}: mean 5, sample variance 32/7.
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+    // Welford must not cancel catastrophically around a huge mean.
+    RunningStats s;
+    const double offset = 1e12;
+    for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+    EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, StderrAndCi95) {
+    RunningStats s;
+    for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+    const double expected_stderr = s.stdev() / 10.0;
+    EXPECT_NEAR(s.stderr_mean(), expected_stderr, 1e-12);
+    EXPECT_NEAR(s.ci95_halfwidth(), 1.959964 * expected_stderr, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+    RunningStats whole, left, right;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(static_cast<double>(i)) * 10.0;
+        whole.add(x);
+        (i < 20 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b); // empty rhs: unchanged
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a); // empty lhs: becomes rhs
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SpanStats, MeanAndStdev) {
+    const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+    EXPECT_NEAR(stdev_of(xs), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_EQ(mean_of(std::span<const double>{}), 0.0);
+    EXPECT_EQ(stdev_of(std::span<const double>{}), 0.0);
+}
+
+TEST(PercentChange, BasicAndThrows) {
+    EXPECT_DOUBLE_EQ(percent_change(110.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(percent_change(62.0, 100.0), -38.0);
+    EXPECT_THROW(percent_change(1.0, 0.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace seamap

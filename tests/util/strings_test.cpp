@@ -1,0 +1,70 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace seamap {
+namespace {
+
+TEST(Split, Basic) {
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, ConsecutiveDelimitersYieldEmptyFields) {
+    const auto parts = split("a,,c,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiter) {
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsWhitespace) {
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("\t\nxy\r "), "xy");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(Join, Basic) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(ParseU64, ValidInputs) {
+    EXPECT_EQ(parse_u64("0"), 0u);
+    EXPECT_EQ(parse_u64("1234567890123"), 1234567890123ULL);
+    EXPECT_EQ(parse_u64("  42  "), 42u);
+}
+
+TEST(ParseU64, RejectsJunk) {
+    EXPECT_THROW(parse_u64(""), std::invalid_argument);
+    EXPECT_THROW(parse_u64("abc"), std::invalid_argument);
+    EXPECT_THROW(parse_u64("12x"), std::invalid_argument);
+    EXPECT_THROW(parse_u64("-5"), std::invalid_argument);
+    EXPECT_THROW(parse_u64("1.5"), std::invalid_argument);
+}
+
+TEST(ParseDouble, ValidInputs) {
+    EXPECT_DOUBLE_EQ(parse_double("3.14"), 3.14);
+    EXPECT_DOUBLE_EQ(parse_double("-2e3"), -2000.0);
+    EXPECT_DOUBLE_EQ(parse_double(" 1 "), 1.0);
+}
+
+TEST(ParseDouble, RejectsJunk) {
+    EXPECT_THROW(parse_double(""), std::invalid_argument);
+    EXPECT_THROW(parse_double("zz"), std::invalid_argument);
+    EXPECT_THROW(parse_double("1.5abc"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,314 @@
+// seamap command-line tool: generate, inspect, optimize and
+// fault-inject task-graph workloads from the shell, using the text
+// .tg format of taskgraph/serialization.h.
+//
+//   seamap_cli generate <tgff|fft|gauss|pipeline|mpeg2|fig8> [options] -o out.tg
+//   seamap_cli info     <graph.tg>
+//   seamap_cli optimize <graph.tg> --cores N --deadline S [options]
+//   seamap_cli inject   <graph.tg> --cores N --deadline S [options]
+//
+// Run any subcommand with --help (or none) for its options. All
+// randomness is seeded (--seed); identical invocations produce
+// identical outputs.
+#include "core/dse.h"
+#include "sched/gantt.h"
+#include "sim/fault_injection.h"
+#include "taskgraph/dot.h"
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+#include "taskgraph/serialization.h"
+#include "taskgraph/standard_graphs.h"
+#include "tgff/random_graph.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace seamap;
+
+namespace {
+
+/// Minimal --flag/--key value argument parser.
+class ArgList {
+public:
+    ArgList(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+    }
+
+    /// Positional arguments (not starting with --).
+    std::vector<std::string> positionals() const {
+        std::vector<std::string> out;
+        for (std::size_t i = 0; i < args_.size(); ++i) {
+            if (args_[i].rfind("--", 0) == 0 || args_[i] == "-o") {
+                ++i; // skip the option's value
+                continue;
+            }
+            out.push_back(args_[i]);
+        }
+        return out;
+    }
+
+    std::optional<std::string> value(const std::string& key) const {
+        for (std::size_t i = 0; i + 1 < args_.size(); ++i)
+            if (args_[i] == key) return args_[i + 1];
+        return std::nullopt;
+    }
+
+    bool flag(const std::string& key) const {
+        for (const auto& arg : args_)
+            if (arg == key) return true;
+        return false;
+    }
+
+    std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+        const auto v = value(key);
+        return v ? parse_u64(*v) : fallback;
+    }
+
+    double real(const std::string& key, double fallback) const {
+        const auto v = value(key);
+        return v ? parse_double(*v) : fallback;
+    }
+
+private:
+    std::vector<std::string> args_;
+};
+
+int usage() {
+    std::cout <<
+        "seamap_cli — soft error-aware MPSoC design optimization\n"
+        "\n"
+        "subcommands:\n"
+        "  generate <kind> -o out.tg [--seed S] [--tasks N] [--batches B]\n"
+        "           kinds: tgff (random, paper distributions; --tasks),\n"
+        "                  fft (--log2 K), gauss (--n N), pipeline (--stages S --width W),\n"
+        "                  mpeg2 (paper Fig. 2), fig8 (paper worked example)\n"
+        "  info <graph.tg>\n"
+        "           structural summary: tasks, edges, costs, registers, critical path\n"
+        "  optimize <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
+        "           [--iterations I] [--seed S] [--all-cores] [--dot out.dot] [--gantt]\n"
+        "           full Fig. 4 DSE; prints the chosen design and the Pareto front\n"
+        "  inject <graph.tg> --cores N [--deadline SECONDS] [--trials T] [--seed S]\n"
+        "           optimize, then run a Poisson SEU fault-injection campaign\n";
+    return 2;
+}
+
+VoltageScalingTable table_for(std::uint64_t levels) {
+    switch (levels) {
+    case 2: return VoltageScalingTable::arm7_two_level();
+    case 3: return VoltageScalingTable::arm7_three_level();
+    case 4: return VoltageScalingTable::arm7_four_level();
+    default: throw std::invalid_argument("--levels must be 2, 3 or 4");
+    }
+}
+
+/// Deadline default: 1.3x the two-core nominal lower bound (the
+/// repository's sweep normalization) when the user gives none.
+double default_deadline(const TaskGraph& graph) {
+    const MpsocArchitecture two(2, VoltageScalingTable::arm7_three_level());
+    return 1.3 * tm_lower_bound_seconds(graph, two, {1, 1});
+}
+
+int cmd_generate(const ArgList& args) {
+    const auto positional = args.positionals();
+    if (positional.empty()) {
+        std::cerr << "generate: missing kind\n";
+        return usage();
+    }
+    const auto out_path = args.value("-o").has_value() ? args.value("-o") : args.value("--out");
+    if (!out_path) {
+        std::cerr << "generate: missing -o <file>\n";
+        return 2;
+    }
+    const std::string& kind = positional[0];
+    const std::uint64_t seed = args.u64("--seed", 1);
+    std::optional<TaskGraph> graph;
+    if (kind == "tgff") {
+        TgffParams params;
+        params.task_count = args.u64("--tasks", 20);
+        params.batch_count = args.u64("--batches", 1);
+        graph = generate_tgff_graph(params, seed);
+    } else if (kind == "fft") {
+        StandardGraphParams params;
+        params.batch_count = args.u64("--batches", 1);
+        graph = fft_task_graph(static_cast<std::uint32_t>(args.u64("--log2", 4)), params);
+    } else if (kind == "gauss") {
+        StandardGraphParams params;
+        params.batch_count = args.u64("--batches", 1);
+        graph = gaussian_elimination_task_graph(
+            static_cast<std::uint32_t>(args.u64("--n", 8)), params);
+    } else if (kind == "pipeline") {
+        StandardGraphParams params;
+        params.batch_count = args.u64("--batches", 50);
+        graph = pipeline_task_graph(static_cast<std::uint32_t>(args.u64("--stages", 6)),
+                                    static_cast<std::uint32_t>(args.u64("--width", 3)), params);
+    } else if (kind == "mpeg2") {
+        graph = mpeg2_decoder_graph();
+    } else if (kind == "fig8") {
+        graph = fig8_example_graph();
+    } else {
+        std::cerr << "generate: unknown kind '" << kind << "'\n";
+        return 2;
+    }
+    save_task_graph(*out_path, *graph);
+    std::cout << "wrote " << graph->name() << " (" << graph->task_count() << " tasks, "
+              << graph->edge_count() << " edges) to " << *out_path << '\n';
+    return 0;
+}
+
+int cmd_info(const ArgList& args) {
+    const auto positional = args.positionals();
+    if (positional.empty()) {
+        std::cerr << "info: missing graph file\n";
+        return 2;
+    }
+    const TaskGraph graph = load_task_graph(positional[0]);
+    std::cout << "graph    : " << graph.name() << '\n';
+    std::cout << "tasks    : " << graph.task_count() << '\n';
+    std::cout << "edges    : " << graph.edge_count() << '\n';
+    std::cout << "batches  : " << graph.batch_count() << '\n';
+    std::cout << "exec     : " << fmt_grouped(graph.total_exec_cycles()) << " cycles\n";
+    std::cout << "comm     : " << fmt_grouped(graph.total_comm_cycles()) << " cycles\n";
+    std::cout << "crit.path: " << fmt_grouped(graph.critical_path_cycles(true))
+              << " cycles (with communication)\n";
+    std::cout << "registers: " << graph.register_file().size() << " banks, "
+              << fmt_grouped(graph.register_file().total_bits()) << " bits\n";
+    std::vector<TaskId> all(graph.task_count());
+    for (TaskId t = 0; t < graph.task_count(); ++t) all[t] = t;
+    std::cout << "reg.union: " << fmt_grouped(graph.union_register_bits(all))
+              << " bits (single-core floor)\n";
+    std::cout << "sources  : " << graph.source_tasks().size()
+              << ", sinks: " << graph.sink_tasks().size() << '\n';
+    return 0;
+}
+
+int cmd_optimize(const ArgList& args) {
+    const auto positional = args.positionals();
+    if (positional.empty()) {
+        std::cerr << "optimize: missing graph file\n";
+        return 2;
+    }
+    const TaskGraph graph = load_task_graph(positional[0]);
+    const std::size_t cores = args.u64("--cores", 4);
+    const MpsocArchitecture arch(cores, table_for(args.u64("--levels", 3)));
+    const double deadline = args.real("--deadline", default_deadline(graph));
+
+    DseParams params;
+    params.search.max_iterations = args.u64("--iterations", 6'000);
+    params.search.seed = args.u64("--seed", 1);
+    params.search.require_all_cores = args.flag("--all-cores");
+    const DesignSpaceExplorer explorer{SerModel{}};
+    const DseResult result = explorer.explore(graph, arch, deadline, params);
+
+    std::cout << "deadline " << fmt_double(deadline, 3) << " s | scalings searched "
+              << result.scalings_searched << "/" << result.scalings_enumerated << " ("
+              << result.scalings_skipped_infeasible << " skipped)\n";
+    if (!result.best) {
+        std::cerr << "no feasible design — loosen --deadline or add cores\n";
+        return 1;
+    }
+    const DsePoint& best = *result.best;
+    TableWriter design({"core", "level", "f (MHz)", "Vdd (V)", "tasks"});
+    for (CoreId c = 0; c < cores; ++c) {
+        std::vector<std::string> names;
+        for (TaskId t : best.mapping.tasks_on(c)) names.push_back(graph.task(t).name);
+        design.add_row({std::to_string(c), std::to_string(best.levels[c]),
+                        fmt_double(arch.scaling_table().frequency_mhz(best.levels[c]), 1),
+                        fmt_double(arch.scaling_table().vdd(best.levels[c]), 2),
+                        join(names, " ")});
+    }
+    design.print_text(std::cout);
+    std::cout << "P = " << fmt_double(best.metrics.power_mw, 2)
+              << " mW | Gamma = " << fmt_sci(best.metrics.gamma, 3)
+              << " | T_M = " << fmt_double(best.metrics.tm_seconds, 3) << " s | R = "
+              << fmt_double(static_cast<double>(best.metrics.register_bits) / 1000.0, 1)
+              << " kbit\n";
+
+    std::cout << "\nPareto front (P mW, Gamma):";
+    for (const DsePoint& point : result.pareto_front)
+        std::cout << "  (" << fmt_double(point.metrics.power_mw, 2) << ", "
+                  << fmt_sci(point.metrics.gamma, 2) << ")";
+    std::cout << '\n';
+
+    if (args.flag("--gantt")) {
+        const Schedule schedule =
+            ListScheduler{}.schedule(graph, best.mapping, arch, best.levels);
+        write_gantt(std::cout, graph, schedule);
+    }
+    if (const auto dot_path = args.value("--dot")) {
+        std::ofstream dot(*dot_path);
+        if (!dot) {
+            std::cerr << "cannot write " << *dot_path << '\n';
+            return 1;
+        }
+        std::vector<std::uint32_t> core_of(graph.task_count());
+        for (TaskId t = 0; t < graph.task_count(); ++t) core_of[t] = best.mapping.core_of(t);
+        write_dot_mapped(dot, graph, core_of);
+        std::cout << "mapped graph written to " << *dot_path << '\n';
+    }
+    return 0;
+}
+
+int cmd_inject(const ArgList& args) {
+    const auto positional = args.positionals();
+    if (positional.empty()) {
+        std::cerr << "inject: missing graph file\n";
+        return 2;
+    }
+    const TaskGraph graph = load_task_graph(positional[0]);
+    const std::size_t cores = args.u64("--cores", 4);
+    const MpsocArchitecture arch(cores, table_for(args.u64("--levels", 3)));
+    const double deadline = args.real("--deadline", default_deadline(graph));
+    const std::uint64_t trials = args.u64("--trials", 200);
+    const std::uint64_t seed = args.u64("--seed", 1);
+
+    DseParams params;
+    params.search.max_iterations = args.u64("--iterations", 4'000);
+    params.search.seed = seed;
+    const DesignSpaceExplorer explorer{SerModel{}};
+    const DseResult result = explorer.explore(graph, arch, deadline, params);
+    if (!result.best) {
+        std::cerr << "no feasible design to inject into\n";
+        return 1;
+    }
+    const DsePoint& best = *result.best;
+    const Schedule schedule =
+        ListScheduler{}.schedule(graph, best.mapping, arch, best.levels);
+    const FaultInjector injector(SerModel{}, SimExposurePolicy::full_duration);
+    const auto campaign = injector.run_campaign(graph, best.mapping, arch, best.levels,
+                                                schedule, trials, seed);
+    std::cout << "design   : P " << fmt_double(best.metrics.power_mw, 2) << " mW, T_M "
+              << fmt_double(best.metrics.tm_seconds, 3) << " s\n";
+    std::cout << "analytic : " << fmt_sci(campaign.analytic_gamma, 4) << " SEUs (eq. 3)\n";
+    std::cout << "measured : " << fmt_sci(campaign.seu_stats.mean(), 4) << " +/- "
+              << fmt_sci(campaign.seu_stats.ci95_halfwidth(), 2) << " over " << trials
+              << " trials\n";
+    std::cout << "spread   : stdev " << fmt_sci(campaign.seu_stats.stdev(), 3) << ", min "
+              << campaign.seu_stats.min() << ", max " << campaign.seu_stats.max() << '\n';
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const ArgList args(argc, argv, 2);
+    try {
+        if (command == "generate") return cmd_generate(args);
+        if (command == "info") return cmd_info(args);
+        if (command == "optimize") return cmd_optimize(args);
+        if (command == "inject") return cmd_inject(args);
+        if (command == "--help" || command == "help") return usage();
+        std::cerr << "unknown subcommand '" << command << "'\n";
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}
