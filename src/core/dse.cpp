@@ -2,11 +2,35 @@
 
 #include "core/initial_mapping.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 namespace seamap {
+
+namespace {
+
+/// Outcome of one scaling combination, written by exactly one worker
+/// into its pre-assigned slot so the merge below can fold counters and
+/// feasible points in enumeration order regardless of thread count.
+struct ScalingOutcome {
+    enum class Status : unsigned char {
+        not_run,            ///< global time budget hit before this slot started
+        skipped_infeasible, ///< failed the T_M lower-bound gate
+        searched_no_design, ///< searched, no feasible mapping found
+        feasible,           ///< searched, `point` holds the best design
+    };
+    Status status = Status::not_run;
+    DsePoint point;
+};
+
+bool nearly_equal(double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+} // namespace
 
 DesignSpaceExplorer::DesignSpaceExplorer(SerModel ser, ExposurePolicy policy)
     : ser_(std::move(ser)), policy_(policy) {}
@@ -16,27 +40,36 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     graph.validate();
     using Clock = std::chrono::steady_clock;
     const auto start_time = Clock::now();
-    auto out_of_time = [&]() {
-        if (params.total_time_budget_seconds <= 0.0) return false;
-        const std::chrono::duration<double> elapsed = Clock::now() - start_time;
-        return elapsed.count() >= params.total_time_budget_seconds;
-    };
+    SearchDeadline budget_deadline;
+    if (params.total_time_budget_seconds > 0.0)
+        budget_deadline = start_time + std::chrono::duration_cast<Clock::duration>(
+                                           std::chrono::duration<double>(
+                                               params.total_time_budget_seconds));
+    auto out_of_time = [&]() { return budget_deadline && Clock::now() >= *budget_deadline; };
 
-    DseResult result;
+    // The sequence is materialized up front so each combination has a
+    // fixed slot: workers may finish out of order, but counters and
+    // feasible points are folded in enumeration order below, making the
+    // result independent of the thread count (absent wall-clock cuts).
+    std::vector<ScalingVector> combinations;
     ScalingEnumerator enumerator(arch.core_count(), arch.scaling_table().level_count());
-    while (auto levels = enumerator.next()) {
-        if (out_of_time()) break;
-        ++result.scalings_enumerated;
+    while (auto levels = enumerator.next()) combinations.push_back(std::move(*levels));
+    std::vector<ScalingOutcome> outcomes(combinations.size());
+
+    auto evaluate_combination = [&](std::size_t index) {
+        if (out_of_time()) return; // slot stays not_run
+        const ScalingVector& levels = combinations[index];
+        ScalingOutcome& outcome = outcomes[index];
 
         // Step 1 gate: skip scalings that cannot possibly meet the
         // deadline under any mapping.
-        if (tm_lower_bound_seconds(graph, arch, *levels) >
+        if (tm_lower_bound_seconds(graph, arch, levels) >
             deadline_seconds * (1.0 + 1e-9)) {
-            ++result.scalings_skipped_infeasible;
-            continue;
+            outcome.status = ScalingOutcome::Status::skipped_infeasible;
+            return;
         }
 
-        EvaluationContext ctx{graph, arch, *levels, SeuEstimator(ser_, policy_),
+        EvaluationContext ctx{graph, arch, levels, SeuEstimator(ser_, policy_),
                               deadline_seconds};
 
         // Step 2: two-stage soft error-aware mapping. Vary the search
@@ -47,18 +80,43 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                               : round_robin_mapping(graph, arch.core_count());
         LocalSearchParams search = params.search;
         std::uint64_t level_hash = 0xcbf29ce484222325ULL;
-        for (ScalingLevel level : *levels) level_hash = splitmix64(level_hash ^ level);
+        for (ScalingLevel level : levels) level_hash = splitmix64(level_hash ^ level);
         search.seed = splitmix64(params.search.seed ^ level_hash);
         const OptimizedMapping searcher(search);
-        LocalSearchResult searched = searcher.optimize(ctx, initial);
-        ++result.scalings_searched;
-        if (!searched.found_feasible) continue;
+        LocalSearchResult searched = searcher.optimize(ctx, initial, budget_deadline);
+        if (!searched.found_feasible) {
+            outcome.status = ScalingOutcome::Status::searched_no_design;
+            return;
+        }
+        outcome.status = ScalingOutcome::Status::feasible;
+        outcome.point.levels = levels;
+        outcome.point.mapping = std::move(searched.best_mapping);
+        outcome.point.metrics = searched.best_metrics;
+    };
 
-        DsePoint point;
-        point.levels = *levels;
-        point.mapping = std::move(searched.best_mapping);
-        point.metrics = searched.best_metrics;
-        result.feasible_points.push_back(std::move(point));
+    const std::size_t threads =
+        params.num_threads == 0 ? ThreadPool::hardware_threads() : params.num_threads;
+    parallel_for_index(combinations.size(), threads, evaluate_combination);
+
+    // Deterministic merge in enumeration order.
+    DseResult result;
+    for (ScalingOutcome& outcome : outcomes) {
+        switch (outcome.status) {
+        case ScalingOutcome::Status::not_run:
+            continue;
+        case ScalingOutcome::Status::skipped_infeasible:
+            ++result.scalings_enumerated;
+            ++result.scalings_skipped_infeasible;
+            continue;
+        case ScalingOutcome::Status::searched_no_design:
+            ++result.scalings_enumerated;
+            ++result.scalings_searched;
+            continue;
+        case ScalingOutcome::Status::feasible:
+            ++result.scalings_enumerated;
+            ++result.scalings_searched;
+            result.feasible_points.push_back(std::move(outcome.point));
+        }
     }
 
     // Step 3: iterative assessment — among feasible designs pick
@@ -80,7 +138,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     return result;
 }
 
-std::vector<DsePoint> pareto_front_of(std::vector<DsePoint> points) {
+std::vector<DsePoint> pareto_front_of(const std::vector<DsePoint>& points) {
     std::vector<DsePoint> front;
     for (const DsePoint& candidate : points) {
         bool dominated = false;
@@ -99,14 +157,20 @@ std::vector<DsePoint> pareto_front_of(std::vector<DsePoint> points) {
     std::sort(front.begin(), front.end(), [](const DsePoint& a, const DsePoint& b) {
         return a.metrics.power_mw < b.metrics.power_mw;
     });
-    // Drop duplicates on (P, Gamma) so the front is a clean staircase.
-    front.erase(std::unique(front.begin(), front.end(),
-                            [](const DsePoint& a, const DsePoint& b) {
-                                return a.metrics.power_mw == b.metrics.power_mw &&
-                                       a.metrics.gamma == b.metrics.gamma;
-                            }),
-                front.end());
-    return front;
+    // Drop near-duplicates on (P, Gamma) so the front is a clean
+    // staircase; exact float equality would keep points that differ
+    // only in the last ulp of an otherwise identical design. Each
+    // point is compared against the last *kept* point (not std::unique,
+    // whose behavior is unspecified for non-transitive predicates).
+    std::vector<DsePoint> deduped;
+    for (DsePoint& point : front) {
+        if (!deduped.empty() &&
+            nearly_equal(deduped.back().metrics.power_mw, point.metrics.power_mw) &&
+            nearly_equal(deduped.back().metrics.gamma, point.metrics.gamma))
+            continue;
+        deduped.push_back(std::move(point));
+    }
+    return deduped;
 }
 
 } // namespace seamap

@@ -44,6 +44,13 @@ struct DseParams {
     /// Relative power window within which designs count as "equal
     /// power" for the Gamma tie-break.
     double power_tie_tolerance = 5e-3;
+    /// Worker threads for the per-scaling mapping searches (each
+    /// scaling is an independent search with its own derived seed).
+    /// 1 = serial, 0 = one per hardware thread. Results are
+    /// bit-identical for every thread count as long as no wall-clock
+    /// budget (`total_time_budget_seconds` / `search.time_budget_seconds`)
+    /// cuts searches short.
+    std::size_t num_threads = 1;
 };
 
 /// Exploration outcome.
@@ -75,6 +82,8 @@ private:
 };
 
 /// Pareto filter over (power_mw, gamma); exposed for tests and benches.
-std::vector<DsePoint> pareto_front_of(std::vector<DsePoint> points);
+/// Points whose power AND gamma agree within a relative epsilon are
+/// deduplicated so the front is a clean staircase.
+std::vector<DsePoint> pareto_front_of(const std::vector<DsePoint>& points);
 
 } // namespace seamap

@@ -52,7 +52,8 @@ OptimizedMapping::OptimizedMapping(LocalSearchParams params) : params_(params) {
 }
 
 LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
-                                             const Mapping& initial) const {
+                                             const Mapping& initial,
+                                             SearchDeadline deadline) const {
     if (!initial.complete())
         throw std::invalid_argument("OptimizedMapping: initial mapping incomplete");
 
@@ -60,9 +61,13 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
     const auto start_time = Clock::now();
     auto budget_exhausted = [&](std::uint64_t iteration) {
         if (params_.max_iterations > 0 && iteration >= params_.max_iterations) return true;
-        if (params_.time_budget_seconds > 0.0) {
-            const std::chrono::duration<double> elapsed = Clock::now() - start_time;
-            if (elapsed.count() >= params_.time_budget_seconds) return true;
+        if (params_.time_budget_seconds > 0.0 || deadline) {
+            const auto now = Clock::now();
+            if (deadline && now >= *deadline) return true;
+            const std::chrono::duration<double> elapsed = now - start_time;
+            if (params_.time_budget_seconds > 0.0 &&
+                elapsed.count() >= params_.time_budget_seconds)
+                return true;
         }
         return false;
     };
@@ -100,17 +105,18 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
             return candidate.feasible || candidate.tm_seconds < reference.tm_seconds;
         return candidate.feasible && candidate.gamma < reference.gamma;
     };
+    auto past_deadline = [&] { return deadline && Clock::now() >= *deadline; };
     // The paper's systematic pass: try every single-task move from the
     // current mapping and return the best strict improvement.
     auto sweep = [&]() {
         Mapping best_neighbor = current;
         DesignMetrics best_metrics = current_metrics;
         bool found = false;
-        for (TaskId t = 0; t < ctx.graph.task_count(); ++t) {
+        for (TaskId t = 0; t < ctx.graph.task_count() && !past_deadline(); ++t) {
             const CoreId original = current.core_of(t);
             if (params_.require_all_cores && current.task_count_on(original) == 1)
                 continue; // moving t would empty its core
-            for (CoreId core = 0; core < ctx.arch.core_count(); ++core) {
+            for (CoreId core = 0; core < ctx.arch.core_count() && !past_deadline(); ++core) {
                 if (core == original) continue;
                 Mapping candidate = current;
                 candidate.assign(t, core);

@@ -13,9 +13,16 @@
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 
 namespace seamap {
+
+/// Absolute wall-clock cutoff for a search (e.g. the explorer's global
+/// time budget). Checked inside the annealing loop, so a search never
+/// overshoots it by more than one design evaluation.
+using SearchDeadline = std::optional<std::chrono::steady_clock::time_point>;
 
 /// Search knobs. The paper uses wall-clock budgets (40-130 min of
 /// SystemC-driven search); with the analytic evaluator the default
@@ -68,8 +75,10 @@ public:
 
     /// Search from `initial` (complete). Returns the best feasible
     /// design by Gamma; if none was found, the design closest to
-    /// feasibility (smallest T_M).
-    LocalSearchResult optimize(const EvaluationContext& ctx, const Mapping& initial) const;
+    /// feasibility (smallest T_M). A `deadline` caps the walk on top of
+    /// the iteration/time budgets.
+    LocalSearchResult optimize(const EvaluationContext& ctx, const Mapping& initial,
+                               SearchDeadline deadline = std::nullopt) const;
 
 private:
     LocalSearchParams params_;

@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace seamap {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+    const std::size_t count = std::max<std::size_t>(1, thread_count);
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::unique_lock lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    {
+        std::unique_lock lock(mutex_);
+        if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr error = std::exchange(first_error_, nullptr);
+        std::rethrow_exception(error);
+    }
+}
+
+std::size_t ThreadPool::hardware_threads() {
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock lock(mutex_);
+            work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return; // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+        }
+        try {
+            job();
+        } catch (...) {
+            std::unique_lock lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+        {
+            std::unique_lock lock(mutex_);
+            --in_flight_;
+            if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
+        }
+    }
+}
+
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& f) {
+    if (count == 0) return;
+    const std::size_t workers = std::min(std::max<std::size_t>(1, threads), count);
+    if (workers == 1) {
+        for (std::size_t i = 0; i < count; ++i) f(i);
+        return;
+    }
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.submit([next, count, &f] {
+            for (std::size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) f(i);
+        });
+    }
+    pool.wait_idle();
+}
+
+} // namespace seamap

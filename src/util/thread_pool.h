@@ -1,0 +1,64 @@
+// Minimal fixed-size worker pool for the embarrassingly parallel parts
+// of the explorer (one independent mapping search per scaling
+// combination). Jobs are plain std::function<void()>; the pool makes no
+// ordering promises, so callers that need deterministic output must
+// write results into pre-assigned slots and merge them in a fixed order
+// afterwards (see DesignSpaceExplorer::explore).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seamap {
+
+class ThreadPool {
+public:
+    /// Spawns `thread_count` workers (clamped to >= 1).
+    explicit ThreadPool(std::size_t thread_count);
+
+    /// Drains the queue, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t thread_count() const { return workers_.size(); }
+
+    /// Enqueue one job. Throws if called after the destructor started.
+    void submit(std::function<void()> job);
+
+    /// Block until every submitted job has finished. If any job threw,
+    /// rethrows the first captured exception (the rest are dropped).
+    void wait_idle();
+
+    /// std::thread::hardware_concurrency() with a floor of 1.
+    static std::size_t hardware_threads();
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::exception_ptr first_error_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+/// Run f(i) for every i in [0, count). With threads <= 1 the calls run
+/// inline on the caller's thread; otherwise a temporary pool of
+/// min(threads, count) workers pulls indices from a shared counter.
+/// f must be safe to call concurrently for distinct indices; the first
+/// exception thrown by any call is rethrown on the caller's thread.
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& f);
+
+} // namespace seamap

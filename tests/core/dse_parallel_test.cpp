@@ -1,0 +1,97 @@
+// Determinism regression for the parallel explorer: with no wall-clock
+// budget, explore() must return bit-identical results for any thread
+// count — every scaling combination is searched with the same derived
+// seed and the merge folds slots in enumeration order.
+#include "core/dse.h"
+
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+DseResult run_explore(const TaskGraph& graph, std::size_t cores, double deadline,
+                      std::size_t threads) {
+    DseParams params;
+    params.search.max_iterations = 600;
+    params.search.seed = 7;
+    params.num_threads = threads;
+    const MpsocArchitecture arch(cores, VoltageScalingTable::arm7_three_level());
+    return DesignSpaceExplorer{SerModel{}}.explore(graph, arch, deadline, params);
+}
+
+void expect_point_identical(const DsePoint& a, const DsePoint& b) {
+    EXPECT_EQ(a.levels, b.levels);
+    EXPECT_EQ(a.mapping, b.mapping);
+    // Exact (bitwise) float comparison on purpose: the searches are
+    // identical walks, so every metric must match to the last bit.
+    EXPECT_EQ(a.metrics.tm_seconds, b.metrics.tm_seconds);
+    EXPECT_EQ(a.metrics.latency_seconds, b.metrics.latency_seconds);
+    EXPECT_EQ(a.metrics.register_bits, b.metrics.register_bits);
+    EXPECT_EQ(a.metrics.gamma, b.metrics.gamma);
+    EXPECT_EQ(a.metrics.power_mw, b.metrics.power_mw);
+    EXPECT_EQ(a.metrics.feasible, b.metrics.feasible);
+}
+
+void expect_result_identical(const DseResult& a, const DseResult& b) {
+    EXPECT_EQ(a.scalings_enumerated, b.scalings_enumerated);
+    EXPECT_EQ(a.scalings_skipped_infeasible, b.scalings_skipped_infeasible);
+    EXPECT_EQ(a.scalings_searched, b.scalings_searched);
+    ASSERT_EQ(a.feasible_points.size(), b.feasible_points.size());
+    for (std::size_t i = 0; i < a.feasible_points.size(); ++i)
+        expect_point_identical(a.feasible_points[i], b.feasible_points[i]);
+    ASSERT_EQ(a.pareto_front.size(), b.pareto_front.size());
+    for (std::size_t i = 0; i < a.pareto_front.size(); ++i)
+        expect_point_identical(a.pareto_front[i], b.pareto_front[i]);
+    ASSERT_EQ(a.best.has_value(), b.best.has_value());
+    if (a.best) expect_point_identical(*a.best, *b.best);
+}
+
+TEST(DseParallel, Fig8BitIdenticalAcrossThreadCounts) {
+    const TaskGraph graph = fig8_example_graph();
+    const DseResult serial = run_explore(graph, 3, 0.5, 1);
+    const DseResult parallel = run_explore(graph, 3, 0.5, 8);
+    ASSERT_TRUE(serial.best.has_value());
+    expect_result_identical(serial, parallel);
+}
+
+TEST(DseParallel, Mpeg2BitIdenticalAcrossThreadCounts) {
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture two(2, VoltageScalingTable::arm7_three_level());
+    const double deadline = 1.3 * tm_lower_bound_seconds(graph, two, {1, 1});
+    const DseResult serial = run_explore(graph, 4, deadline, 1);
+    const DseResult parallel = run_explore(graph, 4, deadline, 8);
+    ASSERT_TRUE(serial.best.has_value());
+    expect_result_identical(serial, parallel);
+}
+
+TEST(DseParallel, ZeroThreadsMeansHardwareConcurrency) {
+    const TaskGraph graph = fig8_example_graph();
+    const DseResult serial = run_explore(graph, 3, 0.5, 1);
+    const DseResult automatic = run_explore(graph, 3, 0.5, 0);
+    expect_result_identical(serial, automatic);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    parallel_for_index(hits.size(), 8, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+    EXPECT_THROW(parallel_for_index(64, 4,
+                                    [](std::size_t i) {
+                                        if (i == 13) throw std::runtime_error("boom");
+                                    }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace seamap

@@ -45,7 +45,7 @@ public:
         std::vector<std::string> out;
         for (std::size_t i = 0; i < args_.size(); ++i) {
             if (args_[i].rfind("--", 0) == 0 || args_[i] == "-o") {
-                ++i; // skip the option's value
+                if (!is_boolean_flag(args_[i])) ++i; // skip the option's value
                 continue;
             }
             out.push_back(args_[i]);
@@ -76,11 +76,17 @@ public:
     }
 
 private:
+    /// Options that never take a value, so a following positional is
+    /// not swallowed when flags precede it.
+    static bool is_boolean_flag(const std::string& arg) {
+        return arg == "--all-cores" || arg == "--gantt" || arg == "--help";
+    }
+
     std::vector<std::string> args_;
 };
 
-int usage() {
-    std::cout <<
+void print_usage(std::ostream& out) {
+    out <<
         "seamap_cli — soft error-aware MPSoC design optimization\n"
         "\n"
         "subcommands:\n"
@@ -91,10 +97,20 @@ int usage() {
         "  info <graph.tg>\n"
         "           structural summary: tasks, edges, costs, registers, critical path\n"
         "  optimize <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
-        "           [--iterations I] [--seed S] [--all-cores] [--dot out.dot] [--gantt]\n"
+        "           [--iterations I] [--seed S] [--threads W] [--all-cores]\n"
+        "           [--dot out.dot] [--gantt]\n"
         "           full Fig. 4 DSE; prints the chosen design and the Pareto front\n"
-        "  inject <graph.tg> --cores N [--deadline SECONDS] [--trials T] [--seed S]\n"
-        "           optimize, then run a Poisson SEU fault-injection campaign\n";
+        "  inject <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
+        "           [--iterations I] [--trials T] [--seed S] [--threads W]\n"
+        "           optimize, then run a Poisson SEU fault-injection campaign\n"
+        "  help | --help\n"
+        "           show this message\n";
+}
+
+/// For invocation errors: usage goes to stderr, exit status is 2.
+/// (`help`/`--help` print the same text to stdout and exit 0.)
+int usage_error() {
+    print_usage(std::cerr);
     return 2;
 }
 
@@ -118,7 +134,7 @@ int cmd_generate(const ArgList& args) {
     const auto positional = args.positionals();
     if (positional.empty()) {
         std::cerr << "generate: missing kind\n";
-        return usage();
+        return usage_error();
     }
     const auto out_path = args.value("-o").has_value() ? args.value("-o") : args.value("--out");
     if (!out_path) {
@@ -202,6 +218,7 @@ int cmd_optimize(const ArgList& args) {
     params.search.max_iterations = args.u64("--iterations", 6'000);
     params.search.seed = args.u64("--seed", 1);
     params.search.require_all_cores = args.flag("--all-cores");
+    params.num_threads = args.u64("--threads", 1);
     const DesignSpaceExplorer explorer{SerModel{}};
     const DseResult result = explorer.explore(graph, arch, deadline, params);
 
@@ -270,6 +287,7 @@ int cmd_inject(const ArgList& args) {
     DseParams params;
     params.search.max_iterations = args.u64("--iterations", 4'000);
     params.search.seed = seed;
+    params.num_threads = args.u64("--threads", 1);
     const DesignSpaceExplorer explorer{SerModel{}};
     const DseResult result = explorer.explore(graph, arch, deadline, params);
     if (!result.best) {
@@ -296,17 +314,21 @@ int cmd_inject(const ArgList& args) {
 } // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 2) return usage();
+    if (argc < 2) return usage_error();
     const std::string command = argv[1];
     const ArgList args(argc, argv, 2);
     try {
+        if (command == "--help" || command == "-h" || command == "help" ||
+            args.flag("--help") || args.flag("-h")) {
+            print_usage(std::cout);
+            return 0;
+        }
         if (command == "generate") return cmd_generate(args);
         if (command == "info") return cmd_info(args);
         if (command == "optimize") return cmd_optimize(args);
         if (command == "inject") return cmd_inject(args);
-        if (command == "--help" || command == "help") return usage();
         std::cerr << "unknown subcommand '" << command << "'\n";
-        return usage();
+        return usage_error();
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
