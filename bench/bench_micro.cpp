@@ -1,16 +1,19 @@
 // google-benchmark microbenchmarks of the library's hot kernels: list
 // scheduling, register-union computation, Gamma estimation, full design
-// evaluation, a simulated-annealing step, the scaling enumerator and a
-// fault-injection trial. These are the per-iteration costs that
+// evaluation, a simulated-annealing step, the scaling enumerator, a
+// fault-injection trial, and the public-API search strategies behind
+// their common interface. These are the per-iteration costs that
 // determine how much design space a given search budget covers.
-#include "baseline/simulated_annealing.h"
+#include "seamap/seamap.h"
+
 #include "core/initial_mapping.h"
-#include "reliability/design_eval.h"
 #include "sim/fault_injection.h"
 #include "taskgraph/mpeg2.h"
 #include "tgff/random_graph.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 namespace seamap {
 namespace {
@@ -93,6 +96,30 @@ void bm_sa_annealing_run(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(bm_sa_annealing_run)->Arg(100)->Arg(1000);
+
+// The public-API contract both engines sit behind: one optimize-grade
+// search per scaling, through a registry-made SearchStrategy. Measures
+// what one explorer worker pays per scaling combination.
+void bm_strategy_search(benchmark::State& state, const std::string& strategy_name) {
+    const TaskGraph graph = benchmark_graph(60);
+    const Problem problem = ProblemBuilder()
+                                .graph(graph)
+                                .architecture(4, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(1e9)
+                                .build();
+    const EvaluationContext ctx = problem.evaluation_context({2, 2, 2, 2});
+    StrategyOptions options;
+    options.max_iterations = static_cast<std::uint64_t>(state.range(0));
+    const auto strategy = make_search_strategy(strategy_name, options);
+    const Mapping initial = round_robin_mapping(graph, 4);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(strategy->search(ctx, initial, seed++));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK_CAPTURE(bm_strategy_search, optimized, "optimized")->Arg(100)->Arg(1000);
+BENCHMARK_CAPTURE(bm_strategy_search, annealing, "annealing")->Arg(100)->Arg(1000);
 
 void bm_scaling_enumeration(benchmark::State& state) {
     const auto cores = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,8 @@
+# CMake package entry point for an installed seamap: resolves the
+# Threads dependency the exported target links against, then loads the
+# target definitions. Usage:
+#     find_package(seamap REQUIRED)
+#     target_link_libraries(app PRIVATE seamap::seamap)
+include(CMakeFindDependencyMacro)
+find_dependency(Threads)
+include("${CMAKE_CURRENT_LIST_DIR}/seamapTargets.cmake")

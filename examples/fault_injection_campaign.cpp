@@ -3,12 +3,14 @@
 // arrive as a Poisson process over the live register space; the
 // campaign reports per-trial statistics, the analytic expectation they
 // fluctuate around, and where the hits land (per core and per
-// register).
+// register). The design under test comes from the public API: a
+// Problem plus a registry search strategy.
 //
 // Usage: fault_injection_campaign [trials] [seed] [policy]
 //   policy: full (default) | busy | task
+#include "seamap/seamap.h"
+
 #include "core/initial_mapping.h"
-#include "core/optimized_mapping.h"
 #include "sim/fault_injection.h"
 #include "taskgraph/mpeg2.h"
 #include "util/strings.h"
@@ -37,16 +39,17 @@ int main(int argc, char** argv) {
 
     // Build a representative design: MPEG-2 on 4 cores at Table II's
     // scaling, mapped with the proposed two-stage optimizer.
-    const TaskGraph graph = mpeg2_decoder_graph();
-    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const Problem problem = ProblemBuilder()
+                                .graph(mpeg2_decoder_graph())
+                                .architecture(4, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(mpeg2_deadline_seconds())
+                                .build();
+    const TaskGraph& graph = problem.graph();
+    const MpsocArchitecture& arch = problem.architecture();
     const ScalingVector levels = {2, 2, 3, 2};
-    const EvaluationContext ctx{graph, arch, levels, SeuEstimator{SerModel{}},
-                                mpeg2_deadline_seconds()};
-    LocalSearchParams search;
-    search.max_iterations = 3'000;
-    search.seed = seed;
-    const LocalSearchResult design =
-        OptimizedMapping(search).optimize(ctx, initial_sea_mapping(ctx));
+    const EvaluationContext ctx = problem.evaluation_context(levels);
+    const auto strategy = make_search_strategy("optimized", {.max_iterations = 3'000});
+    const LocalSearchResult design = strategy->search(ctx, initial_sea_mapping(ctx), seed);
     const Mapping& mapping = design.best_mapping;
     const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
 
@@ -60,7 +63,7 @@ int main(int argc, char** argv) {
     std::cout << "trials  : " << trials << " (seed " << seed << ")\n\n";
 
     // Aggregate campaign.
-    const FaultInjector injector(SerModel{}, policy);
+    const FaultInjector injector(problem.ser_model(), policy);
     const auto campaign =
         injector.run_campaign(graph, mapping, arch, levels, schedule, trials, seed);
     std::cout << "analytic Gamma (eq. 3): " << fmt_sci(campaign.analytic_gamma, 4) << '\n';
@@ -74,7 +77,7 @@ int main(int argc, char** argv) {
               << campaign.seu_stats.max() << "\n\n";
 
     // One located trial for the breakdown tables.
-    const FaultInjector located(SerModel{}, policy, /*sample_locations=*/true);
+    const FaultInjector located(problem.ser_model(), policy, /*sample_locations=*/true);
     Rng rng(seed);
     const InjectionResult hits =
         located.inject(graph, mapping, arch, levels, schedule, rng);

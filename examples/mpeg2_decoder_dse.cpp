@@ -1,15 +1,14 @@
 // Full design-space exploration of the paper's motivating workload: the
 // MPEG-2 decoder (Fig. 2) decoding the 437-frame tennis bitstream at
-// 29.97 fps on a homogeneous ARM7 MPSoC.
+// 29.97 fps on a homogeneous ARM7 MPSoC — through the public API:
+// ProblemBuilder -> explore() with a named strategy, a ProgressObserver
+// streaming per-scaling progress, and the chosen design, (P, Gamma)
+// Pareto front and per-core summary printed at the end. Optionally
+// dumps the mapped task graph as Graphviz DOT.
 //
-// Runs the complete Fig. 4 loop — voltage-scaling enumeration, two-
-// stage soft error-aware mapping, iterative assessment — and prints the
-// chosen design, the (P, Gamma) Pareto front, and a per-core summary.
-// Optionally dumps the mapped task graph as Graphviz DOT.
-//
-// Usage: mpeg2_decoder_dse [cores] [search_iterations] [dot_file]
-#include "core/dse.h"
-#include "sched/gantt.h"
+// Usage: mpeg2_decoder_dse [cores] [search_iterations] [dot_file] [strategy]
+#include "seamap/seamap.h"
+
 #include "taskgraph/dot.h"
 #include "taskgraph/mpeg2.h"
 #include "util/strings.h"
@@ -20,32 +19,70 @@
 
 using namespace seamap;
 
+namespace {
+
+/// Streams one line per completed scaling and each new incumbent.
+class ConsoleProgress : public ProgressObserver {
+public:
+    void on_scaling_done(const ScalingProgress& progress) override {
+        std::cout << "  [" << progress.index + 1 << "/" << progress.total << "] scaling (";
+        for (std::size_t c = 0; c < progress.levels.size(); ++c)
+            std::cout << (c > 0 ? "," : "") << static_cast<int>(progress.levels[c]);
+        std::cout << ") ";
+        switch (progress.outcome) {
+        case ScalingProgress::Outcome::skipped_infeasible:
+            std::cout << "skipped (T_M lower bound misses deadline)\n";
+            break;
+        case ScalingProgress::Outcome::searched_no_design:
+            std::cout << "searched, no feasible mapping\n";
+            break;
+        case ScalingProgress::Outcome::feasible:
+            std::cout << "P = " << fmt_double(progress.metrics.power_mw, 2)
+                      << " mW, Gamma = " << fmt_sci(progress.metrics.gamma, 3) << '\n';
+            break;
+        }
+    }
+
+    void on_incumbent(const DsePoint& incumbent) override {
+        std::cout << "  new incumbent: P = "
+                  << fmt_double(incumbent.metrics.power_mw, 2)
+                  << " mW, Gamma = " << fmt_sci(incumbent.metrics.gamma, 3) << '\n';
+    }
+};
+
+} // namespace
+
 int main(int argc, char** argv) {
     const std::size_t cores = argc > 1 ? parse_u64(argv[1]) : 4;
     const std::uint64_t iterations = argc > 2 ? parse_u64(argv[2]) : 4'000;
     const std::string dot_path = argc > 3 ? argv[3] : "";
+    const std::string strategy = argc > 4 ? argv[4] : "optimized";
 
-    const TaskGraph graph = mpeg2_decoder_graph();
-    const MpsocArchitecture arch(cores, VoltageScalingTable::arm7_three_level());
-    const double deadline = mpeg2_deadline_seconds();
+    const Problem problem = ProblemBuilder()
+                                .graph(mpeg2_decoder_graph())
+                                .architecture(cores, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(mpeg2_deadline_seconds())
+                                .build();
+    const TaskGraph& graph = problem.graph();
+    const MpsocArchitecture& arch = problem.architecture();
 
     std::cout << "workload : " << graph.name() << ", " << graph.task_count() << " tasks, "
               << graph.batch_count() << " frames\n";
     std::cout << "platform : " << cores << " cores, "
               << arch.scaling_table().level_count() << " scaling levels\n";
-    std::cout << "deadline : " << fmt_double(deadline, 3) << " s (29.97 fps)\n";
-    std::cout << "scalings : "
-              << ScalingEnumerator::combination_count(cores,
-                                                      arch.scaling_table().level_count())
-              << " unique combinations (nextScaling, Fig. 5)\n\n";
+    std::cout << "deadline : " << fmt_double(problem.deadline_seconds(), 3)
+              << " s (29.97 fps)\n";
+    std::cout << "strategy : " << strategy << " (available: "
+              << join(search_strategy_names(), ", ") << ")\n\n";
 
-    DseParams params;
-    params.search.max_iterations = iterations;
-    params.search.seed = 1;
-    const DesignSpaceExplorer explorer{SerModel{}};
-    const DseResult result = explorer.explore(graph, arch, deadline, params);
+    ExploreOptions options;
+    options.strategy = strategy;
+    options.dse.search.max_iterations = iterations;
+    options.dse.search.seed = 1;
+    ConsoleProgress progress;
+    const DseResult result = explore(problem, options, &progress);
 
-    std::cout << "explored " << result.scalings_searched << " scalings ("
+    std::cout << "\nexplored " << result.scalings_searched << " scalings ("
               << result.scalings_skipped_infeasible << " skipped as infeasible)\n\n";
     if (!result.best) {
         std::cerr << "no feasible design: deadline too tight for this platform\n";

@@ -1,10 +1,13 @@
 // Architecture-allocation sweep on synthetic workloads — the
 // random-task-graph half of the paper's Table III, as a reusable tool:
 // generate TGFF-style graphs of several sizes, explore 2..C_max cores
-// each, and report the power and SEUs of the chosen design.
+// each through the public API, and report the power and SEUs of the
+// chosen design. The search strategy is selectable from the registry,
+// so the same sweep compares the Fig. 7 search against the SA baseline.
 //
-// Usage: random_taskgraph_sweep [max_cores] [seed] [search_iterations]
-#include "core/dse.h"
+// Usage: random_taskgraph_sweep [max_cores] [seed] [search_iterations] [strategy]
+#include "seamap/seamap.h"
+
 #include "tgff/random_graph.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -31,11 +34,12 @@ int main(int argc, char** argv) {
     const std::size_t max_cores = argc > 1 ? parse_u64(argv[1]) : 6;
     const std::uint64_t seed = argc > 2 ? parse_u64(argv[2]) : 7;
     const std::uint64_t iterations = argc > 3 ? parse_u64(argv[3]) : 2'000;
+    const std::string strategy = argc > 4 ? argv[4] : "optimized";
 
-    const DesignSpaceExplorer explorer{SerModel{}};
-    DseParams params;
-    params.search.max_iterations = iterations;
-    params.search.seed = seed;
+    ExploreOptions options;
+    options.strategy = strategy;
+    options.dse.search.max_iterations = iterations;
+    options.dse.search.seed = seed;
 
     TableWriter table({"tasks", "cores", "P (mW)", "Gamma", "T_M (s)", "deadline (s)"});
     for (const std::size_t tasks : {20u, 40u, 60u}) {
@@ -44,8 +48,13 @@ int main(int argc, char** argv) {
         const TaskGraph graph = generate_tgff_graph(tgff, seed);
         const double deadline = normalized_deadline_seconds(graph);
         for (std::size_t cores = 2; cores <= max_cores; ++cores) {
-            const MpsocArchitecture arch(cores, VoltageScalingTable::arm7_three_level());
-            const DseResult result = explorer.explore(graph, arch, deadline, params);
+            const Problem problem =
+                ProblemBuilder()
+                    .graph(graph)
+                    .architecture(cores, VoltageScalingTable::arm7_three_level())
+                    .deadline_seconds(deadline)
+                    .build();
+            const DseResult result = explore(problem, options);
             if (!result.best) {
                 table.add_row({std::to_string(tasks), std::to_string(cores), "-", "-", "-",
                                fmt_double(deadline, 2)});
@@ -58,8 +67,8 @@ int main(int argc, char** argv) {
                            fmt_double(deadline, 2)});
         }
     }
-    std::cout << "architecture-allocation sweep (seed " << seed << ", "
-              << iterations << " search iterations per scaling)\n\n";
+    std::cout << "architecture-allocation sweep (seed " << seed << ", " << iterations
+              << " search iterations per scaling, strategy " << strategy << ")\n\n";
     table.print_text(std::cout);
     std::cout << "\nexpected shape (paper Table III): power is minimized at an\n"
                  "application-dependent middle core count, while the SEUs\n"

@@ -1,0 +1,21 @@
+#include "api/explore.h"
+
+#include "api/strategy.h"
+
+#include <memory>
+
+namespace seamap {
+
+DseResult explore(const Problem& problem, const ExploreOptions& options,
+                  ProgressObserver* observer, const CancellationToken* cancel) {
+    const DesignSpaceExplorer explorer(problem.ser_model(), problem.exposure_policy());
+    // One construction path for every name: the registry factory
+    // receives options.dse.search as the canonical StrategyOptions.
+    const std::unique_ptr<SearchStrategy> strategy =
+        make_search_strategy(options.strategy, options.dse.search);
+    return explorer.explore(problem.graph(), problem.architecture(),
+                            problem.deadline_seconds(), options.dse, *strategy, observer,
+                            cancel);
+}
+
+} // namespace seamap

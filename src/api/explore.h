@@ -1,0 +1,39 @@
+// The one-call entry point of the public API: run the paper's Fig. 4
+// design-space exploration on a Problem with a named search strategy.
+//
+//     Problem problem = ProblemBuilder()...build();
+//     ExploreOptions options;
+//     options.strategy = "annealing";           // or "optimized" (default)
+//     options.dse.search.max_iterations = 6'000;
+//     options.dse.num_threads = 0;              // one per hardware thread
+//     DseResult result = explore(problem, options);
+//
+// Progress streaming and cooperative cancellation ride along through
+// the optional ProgressObserver / CancellationToken arguments.
+#pragma once
+
+#include "api/observer.h"
+#include "api/problem.h"
+#include "core/dse.h"
+#include "util/cancellation.h"
+
+#include <string>
+
+namespace seamap {
+
+/// Exploration options: a strategy-registry name plus the explorer
+/// knobs. Every strategy's factory receives `dse.search` as its
+/// StrategyOptions (see api/strategy.h for which knobs each engine
+/// honors); `dse.search.seed` is the per-scaling seed base.
+struct ExploreOptions {
+    std::string strategy = "optimized";
+    DseParams dse;
+};
+
+/// Run the full exploration. Throws std::invalid_argument for an
+/// unknown strategy name.
+DseResult explore(const Problem& problem, const ExploreOptions& options = {},
+                  ProgressObserver* observer = nullptr,
+                  const CancellationToken* cancel = nullptr);
+
+} // namespace seamap

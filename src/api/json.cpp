@@ -1,0 +1,78 @@
+#include "api/json.h"
+
+#include "seamap/version.h"
+
+namespace seamap {
+
+JsonValue to_json(const DesignMetrics& metrics) {
+    JsonValue out = JsonValue::object();
+    out["tm_seconds"] = metrics.tm_seconds;
+    out["latency_seconds"] = metrics.latency_seconds;
+    out["register_bits"] = metrics.register_bits;
+    out["gamma"] = metrics.gamma;
+    out["power_mw"] = metrics.power_mw;
+    out["feasible"] = metrics.feasible;
+    return out;
+}
+
+JsonValue to_json(const DsePoint& point) {
+    JsonValue out = JsonValue::object();
+    JsonValue levels = JsonValue::array();
+    for (const ScalingLevel level : point.levels)
+        levels.push_back(static_cast<std::int64_t>(level));
+    out["levels"] = std::move(levels);
+    JsonValue core_of = JsonValue::array();
+    for (const CoreId core : point.mapping.raw())
+        core_of.push_back(static_cast<std::int64_t>(core));
+    out["core_of"] = std::move(core_of);
+    out["metrics"] = to_json(point.metrics);
+    return out;
+}
+
+JsonValue to_json(const DseResult& result) {
+    JsonValue out = JsonValue::object();
+    JsonValue scalings = JsonValue::object();
+    scalings["total"] = result.scalings_total;
+    scalings["enumerated"] = result.scalings_enumerated;
+    scalings["searched"] = result.scalings_searched;
+    scalings["skipped_infeasible"] = result.scalings_skipped_infeasible;
+    out["scalings"] = std::move(scalings);
+    out["best"] = result.best ? to_json(*result.best) : JsonValue();
+    out["feasible_count"] = static_cast<std::uint64_t>(result.feasible_points.size());
+    JsonValue front = JsonValue::array();
+    for (const DsePoint& point : result.pareto_front) front.push_back(to_json(point));
+    out["pareto_front"] = std::move(front);
+    return out;
+}
+
+JsonValue to_json(const Problem& problem) {
+    JsonValue out = JsonValue::object();
+    JsonValue graph = JsonValue::object();
+    graph["name"] = problem.graph().name();
+    graph["tasks"] = static_cast<std::uint64_t>(problem.graph().task_count());
+    graph["edges"] = static_cast<std::uint64_t>(problem.graph().edge_count());
+    graph["batches"] = problem.graph().batch_count();
+    out["graph"] = std::move(graph);
+    JsonValue arch = JsonValue::object();
+    arch["cores"] = static_cast<std::uint64_t>(problem.architecture().core_count());
+    arch["scaling_levels"] =
+        static_cast<std::uint64_t>(problem.architecture().scaling_table().level_count());
+    out["architecture"] = std::move(arch);
+    out["deadline_seconds"] = problem.deadline_seconds();
+    out["exposure_policy"] =
+        problem.exposure_policy() == ExposurePolicy::full_duration ? "full_duration"
+                                                                   : "busy_only";
+    return out;
+}
+
+JsonValue optimize_report_json(const Problem& problem, std::string_view strategy_name,
+                               const DseResult& result) {
+    JsonValue out = JsonValue::object();
+    out["seamap_version"] = k_version_string;
+    out["strategy"] = strategy_name;
+    out["problem"] = to_json(problem);
+    out["result"] = to_json(result);
+    return out;
+}
+
+} // namespace seamap

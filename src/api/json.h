@@ -1,0 +1,46 @@
+// JSON views of the public result types, built on the deterministic
+// util/json.h writer. The documents are stable (insertion-ordered
+// keys, shortest round-trip doubles), so `seamap_cli optimize --json`
+// output is golden-testable and byte-identical across thread counts.
+//
+// Schema of optimize_report_json (the `optimize --json` document):
+//   {
+//     "seamap_version": "x.y.z",
+//     "strategy": "optimized" | "annealing" | <registered name>,
+//     "problem": {
+//       "graph": {"name", "tasks", "edges", "batches"},
+//       "architecture": {"cores", "scaling_levels"},
+//       "deadline_seconds", "exposure_policy"
+//     },
+//     "result": {
+//       "scalings": {"total", "enumerated", "searched",
+//                    "skipped_infeasible"},   // enumerated < total only
+//                                             // when cancelled/cut early
+//       "best": <point> | null,
+//       "feasible_count",
+//       "pareto_front": [<point>...]
+//     }
+//   }
+// where <point> = {"levels": [..], "core_of": [..], "metrics":
+// {"tm_seconds", "latency_seconds", "register_bits", "gamma",
+// "power_mw", "feasible"}}.
+#pragma once
+
+#include "api/problem.h"
+#include "core/dse.h"
+#include "util/json.h"
+
+#include <string_view>
+
+namespace seamap {
+
+JsonValue to_json(const DesignMetrics& metrics);
+JsonValue to_json(const DsePoint& point);
+JsonValue to_json(const DseResult& result);
+JsonValue to_json(const Problem& problem);
+
+/// The complete `optimize --json` document (see schema above).
+JsonValue optimize_report_json(const Problem& problem, std::string_view strategy_name,
+                               const DseResult& result);
+
+} // namespace seamap

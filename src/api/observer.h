@@ -1,0 +1,7 @@
+// Public re-export of the exploration progress interface. The types
+// live in core/observer.h (the explorer calls them, and core never
+// depends upward on api/); this shim keeps the whole API surface
+// reachable through the api/ headers and seamap/seamap.h.
+#pragma once
+
+#include "core/observer.h"

@@ -1,0 +1,75 @@
+#include "api/problem.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace seamap {
+
+SeuEstimator Problem::make_estimator() const {
+    return SeuEstimator(state_->ser, state_->policy);
+}
+
+EvaluationContext Problem::evaluation_context(ScalingVector levels) const {
+    state_->arch.validate_scaling(levels);
+    return EvaluationContext{state_->graph, state_->arch, std::move(levels),
+                             make_estimator(), state_->deadline_seconds};
+}
+
+ProblemBuilder& ProblemBuilder::graph(TaskGraph graph) {
+    graph_ = std::move(graph);
+    return *this;
+}
+
+ProblemBuilder& ProblemBuilder::architecture(MpsocArchitecture arch) {
+    arch_ = std::move(arch);
+    return *this;
+}
+
+ProblemBuilder& ProblemBuilder::architecture(std::size_t cores, VoltageScalingTable table) {
+    return architecture(MpsocArchitecture(cores, std::move(table)));
+}
+
+ProblemBuilder& ProblemBuilder::deadline_seconds(double seconds) {
+    deadline_seconds_ = seconds;
+    return *this;
+}
+
+ProblemBuilder& ProblemBuilder::ser_model(SerModel model) {
+    ser_ = std::move(model);
+    return *this;
+}
+
+ProblemBuilder& ProblemBuilder::exposure_policy(ExposurePolicy policy) {
+    policy_ = policy;
+    return *this;
+}
+
+Problem ProblemBuilder::build() const {
+    std::string problems;
+    auto complain = [&problems](const std::string& what) {
+        if (!problems.empty()) problems += "; ";
+        problems += what;
+    };
+    if (!graph_) complain("graph not set");
+    if (!arch_) complain("architecture not set");
+    if (!deadline_seconds_) {
+        complain("deadline not set");
+    } else if (!std::isfinite(*deadline_seconds_) || *deadline_seconds_ <= 0.0) {
+        complain("deadline must be a positive finite number of seconds");
+    }
+    if (graph_) {
+        try {
+            graph_->validate();
+        } catch (const std::exception& e) {
+            complain(std::string("invalid graph: ") + e.what());
+        }
+    }
+    if (!problems.empty()) throw std::invalid_argument("ProblemBuilder: " + problems);
+    auto state = std::make_shared<const Problem::State>(
+        Problem::State{*graph_, *arch_, *deadline_seconds_, ser_, policy_});
+    return Problem(std::move(state));
+}
+
+} // namespace seamap

@@ -1,0 +1,110 @@
+#include "api/strategy.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace seamap {
+
+AnnealingStrategy::AnnealingStrategy(SaParams params, MappingObjective objective)
+    : params_(params), objective_(objective) {
+    (void)SimulatedAnnealingMapper(params_);
+}
+
+std::string AnnealingStrategy::name() const { return "annealing"; }
+
+LocalSearchResult AnnealingStrategy::search(const EvaluationContext& ctx,
+                                            const Mapping& initial, std::uint64_t seed,
+                                            const CancellationToken* cancel) const {
+    SaParams params = params_;
+    params.seed = seed;
+    const SaResult annealed =
+        SimulatedAnnealingMapper(params).optimize(ctx, objective_, initial, cancel);
+    LocalSearchResult result;
+    result.best_mapping = annealed.best_mapping;
+    result.best_metrics = annealed.best_metrics;
+    result.found_feasible = annealed.found_feasible;
+    result.iterations_run = annealed.iterations_run;
+    result.improvements = annealed.accepted_moves;
+    result.evaluations = annealed.evaluations;
+    return result;
+}
+
+namespace {
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<std::pair<std::string, StrategyFactory>> entries;
+
+    Registry() {
+        entries.emplace_back("optimized", [](const StrategyOptions& options) {
+            return std::make_unique<OptimizedMappingStrategy>(options);
+        });
+        entries.emplace_back("annealing", [](const StrategyOptions& options) {
+            SaParams params;
+            params.iterations = options.max_iterations;
+            params.time_budget_seconds = options.time_budget_seconds;
+            params.initial_temperature = options.initial_temperature;
+            params.final_temperature = options.final_temperature;
+            params.swap_probability = options.swap_probability;
+            params.require_all_cores = options.require_all_cores;
+            return std::make_unique<AnnealingStrategy>(params);
+        });
+    }
+};
+
+Registry& registry() {
+    static Registry instance;
+    return instance;
+}
+
+} // namespace
+
+bool register_search_strategy(std::string name, StrategyFactory factory) {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    for (const auto& [existing, _] : reg.entries)
+        if (existing == name) return false;
+    reg.entries.emplace_back(std::move(name), std::move(factory));
+    return true;
+}
+
+std::unique_ptr<SearchStrategy> make_search_strategy(std::string_view name,
+                                                     const StrategyOptions& options) {
+    Registry& reg = registry();
+    StrategyFactory factory;
+    {
+        std::lock_guard lock(reg.mutex);
+        for (const auto& [existing, candidate] : reg.entries)
+            if (existing == name) factory = candidate;
+    }
+    if (!factory) {
+        std::string known;
+        for (const std::string& entry : search_strategy_names()) {
+            if (!known.empty()) known += ", ";
+            known += entry;
+        }
+        throw std::invalid_argument("unknown search strategy '" + std::string(name) +
+                                    "' (known: " + known + ")");
+    }
+    std::unique_ptr<SearchStrategy> strategy = factory(options);
+    if (strategy == nullptr)
+        throw std::invalid_argument("search strategy factory for '" + std::string(name) +
+                                    "' returned null (options it cannot satisfy?)");
+    return strategy;
+}
+
+std::vector<std::string> search_strategy_names() {
+    Registry& reg = registry();
+    std::vector<std::string> names;
+    {
+        std::lock_guard lock(reg.mutex);
+        names.reserve(reg.entries.size());
+        for (const auto& [name, _] : reg.entries) names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace seamap

@@ -1,6 +1,7 @@
 #include "baseline/simulated_annealing.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -56,8 +57,9 @@ void random_neighbor(Mapping& mapping, Rng& rng, double swap_probability,
 } // namespace
 
 SimulatedAnnealingMapper::SimulatedAnnealingMapper(SaParams params) : params_(params) {
-    if (params_.iterations == 0)
-        throw std::invalid_argument("SimulatedAnnealingMapper: need >= 1 iteration");
+    if (params_.iterations == 0 && params_.time_budget_seconds <= 0.0)
+        throw std::invalid_argument(
+            "SimulatedAnnealingMapper: need an iteration or time budget");
     if (params_.initial_temperature <= 0.0 || params_.final_temperature <= 0.0 ||
         params_.final_temperature > params_.initial_temperature)
         throw std::invalid_argument("SimulatedAnnealingMapper: bad temperature range");
@@ -69,7 +71,8 @@ SimulatedAnnealingMapper::SimulatedAnnealingMapper(SaParams params) : params_(pa
 
 SaResult SimulatedAnnealingMapper::optimize(const EvaluationContext& ctx,
                                             MappingObjective objective,
-                                            const Mapping& initial) const {
+                                            const Mapping& initial,
+                                            const CancellationToken* cancel) const {
     if (!initial.complete())
         throw std::invalid_argument("SimulatedAnnealingMapper: initial mapping incomplete");
 
@@ -98,11 +101,16 @@ SaResult SimulatedAnnealingMapper::optimize(const EvaluationContext& ctx,
         return false;
     };
 
+    const SearchBudget budget(params_.iterations, params_.time_budget_seconds, cancel);
     const double cooling_exponent =
         std::log(params_.final_temperature / params_.initial_temperature);
-    for (std::uint64_t iter = 0; iter < params_.iterations; ++iter) {
-        const double progress =
-            static_cast<double>(iter) / static_cast<double>(params_.iterations);
+    // Cooling progress is measured against the iteration budget; in
+    // time-budget-only runs the schedule cycles every 10k iterations.
+    const std::uint64_t cooling_segment =
+        params_.iterations > 0 ? params_.iterations : 10'000;
+    for (std::uint64_t iter = 0; !budget.exhausted(iter); ++iter) {
+        const double progress = static_cast<double>(iter % cooling_segment) /
+                                static_cast<double>(cooling_segment);
         const double temperature =
             params_.initial_temperature * std::exp(cooling_exponent * progress);
 

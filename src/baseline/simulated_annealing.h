@@ -9,6 +9,7 @@
 #include "baseline/objectives.h"
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 
 #include <cstdint>
@@ -18,7 +19,10 @@ namespace seamap {
 /// Annealer knobs; defaults are sized for the paper's graphs (11-100
 /// tasks) and run in well under a second per call.
 struct SaParams {
+    /// Iteration budget; 0 = no cap (a time budget must then be set).
     std::uint64_t iterations = 20'000;
+    /// Wall-clock cap on one optimize() call, seconds; 0 = none.
+    double time_budget_seconds = 0.0;
     /// Initial/final temperature, relative to the current cost.
     double initial_temperature = 0.30;
     double final_temperature = 1e-4;
@@ -51,9 +55,11 @@ public:
 
     /// Anneal from `initial` (must be complete). The best *feasible*
     /// design seen is returned; if none is feasible, the design with
-    /// the smallest deadline violation.
+    /// the smallest deadline violation. An optional `cancel` token is
+    /// checked once per iteration and stops the walk early.
     SaResult optimize(const EvaluationContext& ctx, MappingObjective objective,
-                      const Mapping& initial) const;
+                      const Mapping& initial,
+                      const CancellationToken* cancel = nullptr) const;
 
 private:
     SaParams params_;

@@ -1,12 +1,14 @@
 #include "core/dse.h"
 
 #include "core/initial_mapping.h"
+#include "core/observer.h"
+#include "core/search_strategy.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <mutex>
 
 namespace seamap {
 
@@ -17,7 +19,7 @@ namespace {
 /// feasible points in enumeration order regardless of thread count.
 struct ScalingOutcome {
     enum class Status : unsigned char {
-        not_run,            ///< global time budget hit before this slot started
+        not_run,            ///< stop requested before this slot started
         skipped_infeasible, ///< failed the T_M lower-bound gate
         searched_no_design, ///< searched, no feasible mapping found
         feasible,           ///< searched, `point` holds the best design
@@ -30,22 +32,41 @@ bool nearly_equal(double a, double b) {
     return std::abs(a - b) <= 1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
 }
 
+/// The paper's step-3 selection rule: lower power wins; within the
+/// relative power tie window, fewer expected SEUs win. Shared by the
+/// deterministic final fold and the streamed incumbent so both report
+/// the same design for the same point sequence.
+bool better_design(const DsePoint& candidate, const DsePoint& best, double tie) {
+    const double best_power = best.metrics.power_mw;
+    const double power = candidate.metrics.power_mw;
+    const bool near_tie =
+        std::abs(power - best_power) <= tie * std::max(best_power, power);
+    return near_tie ? candidate.metrics.gamma < best.metrics.gamma : power < best_power;
+}
+
 } // namespace
 
 DesignSpaceExplorer::DesignSpaceExplorer(SerModel ser, ExposurePolicy policy)
     : ser_(std::move(ser)), policy_(policy) {}
 
 DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchitecture& arch,
-                                       double deadline_seconds, const DseParams& params) const {
+                                       double deadline_seconds,
+                                       const DseParams& params) const {
+    const OptimizedMappingStrategy strategy(params.search);
+    return explore(graph, arch, deadline_seconds, params, strategy);
+}
+
+DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchitecture& arch,
+                                       double deadline_seconds, const DseParams& params,
+                                       const SearchStrategy& strategy,
+                                       ProgressObserver* observer,
+                                       const CancellationToken* cancel) const {
     graph.validate();
-    using Clock = std::chrono::steady_clock;
-    const auto start_time = Clock::now();
-    SearchDeadline budget_deadline;
-    if (params.total_time_budget_seconds > 0.0)
-        budget_deadline = start_time + std::chrono::duration_cast<Clock::duration>(
-                                           std::chrono::duration<double>(
-                                               params.total_time_budget_seconds));
-    auto out_of_time = [&]() { return budget_deadline && Clock::now() >= *budget_deadline; };
+    // One token funnels every stop source to the workers: the caller's
+    // cancellation (chained as parent) and the explorer's own total
+    // wall-clock budget (this token's deadline).
+    CancellationToken stop(cancel);
+    stop.set_budget_seconds(params.total_time_budget_seconds);
 
     // The sequence is materialized up front so each combination has a
     // fixed slot: workers may finish out of order, but counters and
@@ -56,8 +77,44 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     while (auto levels = enumerator.next()) combinations.push_back(std::move(*levels));
     std::vector<ScalingOutcome> outcomes(combinations.size());
 
+    // Observer state: callbacks are serialized behind one mutex; the
+    // streamed incumbent applies the selection rule in completion
+    // order, which with one thread equals enumeration order.
+    std::mutex observer_mutex;
+    std::optional<DsePoint> incumbent;
+    const double tie = std::max(0.0, params.power_tie_tolerance);
+    if (observer != nullptr) observer->on_explore_begin(combinations.size());
+    auto notify = [&](std::size_t index, const ScalingOutcome& outcome) {
+        if (observer == nullptr) return;
+        std::lock_guard lock(observer_mutex);
+        ScalingProgress progress;
+        progress.index = index;
+        progress.total = combinations.size();
+        progress.levels = combinations[index];
+        switch (outcome.status) {
+        case ScalingOutcome::Status::not_run:
+            return;
+        case ScalingOutcome::Status::skipped_infeasible:
+            progress.outcome = ScalingProgress::Outcome::skipped_infeasible;
+            break;
+        case ScalingOutcome::Status::searched_no_design:
+            progress.outcome = ScalingProgress::Outcome::searched_no_design;
+            break;
+        case ScalingOutcome::Status::feasible:
+            progress.outcome = ScalingProgress::Outcome::feasible;
+            progress.metrics = outcome.point.metrics;
+            break;
+        }
+        observer->on_scaling_done(progress);
+        if (outcome.status == ScalingOutcome::Status::feasible &&
+            (!incumbent || better_design(outcome.point, *incumbent, tie))) {
+            incumbent = outcome.point;
+            observer->on_incumbent(*incumbent);
+        }
+    };
+
     auto evaluate_combination = [&](std::size_t index) {
-        if (out_of_time()) return; // slot stays not_run
+        if (stop.stop_requested()) return; // slot stays not_run
         const ScalingVector& levels = combinations[index];
         ScalingOutcome& outcome = outcomes[index];
 
@@ -66,40 +123,40 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         if (tm_lower_bound_seconds(graph, arch, levels) >
             deadline_seconds * (1.0 + 1e-9)) {
             outcome.status = ScalingOutcome::Status::skipped_infeasible;
+            notify(index, outcome);
             return;
         }
 
         EvaluationContext ctx{graph, arch, levels, SeuEstimator(ser_, policy_),
                               deadline_seconds};
 
-        // Step 2: two-stage soft error-aware mapping. Vary the search
-        // seed per scaling so repeated scalings do not replay the same
-        // random walk.
+        // Step 2: soft error-aware mapping through the pluggable
+        // strategy. Vary the search seed per scaling so repeated
+        // scalings do not replay the same random walk.
         Mapping initial = params.use_initial_sea_mapping
                               ? initial_sea_mapping(ctx)
                               : round_robin_mapping(graph, arch.core_count());
-        LocalSearchParams search = params.search;
         std::uint64_t level_hash = 0xcbf29ce484222325ULL;
         for (ScalingLevel level : levels) level_hash = splitmix64(level_hash ^ level);
-        search.seed = splitmix64(params.search.seed ^ level_hash);
-        const OptimizedMapping searcher(search);
-        LocalSearchResult searched = searcher.optimize(ctx, initial, budget_deadline);
+        const std::uint64_t seed = splitmix64(params.search.seed ^ level_hash);
+        LocalSearchResult searched = strategy.search(ctx, initial, seed, &stop);
         if (!searched.found_feasible) {
             outcome.status = ScalingOutcome::Status::searched_no_design;
+            notify(index, outcome);
             return;
         }
         outcome.status = ScalingOutcome::Status::feasible;
         outcome.point.levels = levels;
         outcome.point.mapping = std::move(searched.best_mapping);
         outcome.point.metrics = searched.best_metrics;
+        notify(index, outcome);
     };
 
-    const std::size_t threads =
-        params.num_threads == 0 ? ThreadPool::hardware_threads() : params.num_threads;
-    parallel_for_index(combinations.size(), threads, evaluate_combination);
+    parallel_for_index(combinations.size(), params.num_threads, evaluate_combination);
 
     // Deterministic merge in enumeration order.
     DseResult result;
+    result.scalings_total = combinations.size();
     for (ScalingOutcome& outcome : outcomes) {
         switch (outcome.status) {
         case ScalingOutcome::Status::not_run:
@@ -121,20 +178,10 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
 
     // Step 3: iterative assessment — among feasible designs pick
     // minimum power, breaking near-ties by Gamma.
-    const double tie = std::max(0.0, params.power_tie_tolerance);
-    for (const DsePoint& point : result.feasible_points) {
-        if (!result.best) {
-            result.best = point;
-            continue;
-        }
-        const double best_power = result.best->metrics.power_mw;
-        const double power = point.metrics.power_mw;
-        const bool near_tie = std::abs(power - best_power) <=
-                              tie * std::max(best_power, power);
-        if (near_tie ? point.metrics.gamma < result.best->metrics.gamma : power < best_power)
-            result.best = point;
-    }
+    for (const DsePoint& point : result.feasible_points)
+        if (!result.best || better_design(point, *result.best, tie)) result.best = point;
     result.pareto_front = pareto_front_of(result.feasible_points);
+    if (observer != nullptr) observer->on_explore_end(result);
     return result;
 }
 

@@ -17,12 +17,16 @@
 #include "core/optimized_mapping.h"
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
+#include "util/cancellation.h"
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 namespace seamap {
+
+class SearchStrategy;   // core/search_strategy.h
+class ProgressObserver; // core/observer.h
 
 /// One evaluated design point.
 struct DsePoint {
@@ -33,7 +37,10 @@ struct DsePoint {
 
 /// Exploration knobs.
 struct DseParams {
-    /// Per-scaling mapping-search effort (Fig. 7 budget).
+    /// Per-scaling mapping-search effort (Fig. 7 budget). Strategy
+    /// factories receive this as their canonical knob set and honor
+    /// what they understand (api/strategy.h); for *any* strategy,
+    /// `search.seed` is the base from which per-scaling seeds derive.
     LocalSearchParams search;
     /// Overall wall-clock budget, seconds (0 = none): the paper's
     /// "chosen search-time".
@@ -46,10 +53,13 @@ struct DseParams {
     double power_tie_tolerance = 5e-3;
     /// Worker threads for the per-scaling mapping searches (each
     /// scaling is an independent search with its own derived seed).
-    /// 1 = serial, 0 = one per hardware thread. Results are
-    /// bit-identical for every thread count as long as no wall-clock
-    /// budget (`total_time_budget_seconds` / `search.time_budget_seconds`)
-    /// cuts searches short.
+    /// 1 = serial; 0 = one per hardware thread, clamped to
+    /// std::thread::hardware_concurrency() in exactly one place
+    /// (ThreadPool::resolve_thread_count). Results are bit-identical
+    /// for every thread count — including 0 vs. the explicit hardware
+    /// count — as long as no wall-clock budget
+    /// (`total_time_budget_seconds` / `search.time_budget_seconds`)
+    /// or cancellation cuts searches short.
     std::size_t num_threads = 1;
 };
 
@@ -62,19 +72,41 @@ struct DseResult {
     std::vector<DsePoint> feasible_points;
     /// Non-dominated subset over (power_mw, gamma).
     std::vector<DsePoint> pareto_front;
+    /// Size of the full Fig. 5 sequence for this architecture.
+    std::uint64_t scalings_total = 0;
+    /// Combinations whose evaluation actually started (gate applied).
+    /// Equals scalings_total on a full run; smaller when cancellation
+    /// or the total time budget stopped the exploration early —
+    /// enumerated/total is the completed fraction.
     std::uint64_t scalings_enumerated = 0;
     std::uint64_t scalings_skipped_infeasible = 0;
     std::uint64_t scalings_searched = 0;
 };
 
-/// Fig. 4 explorer.
+/// Fig. 4 explorer. The per-scaling mapping search is pluggable: any
+/// SearchStrategy (core/search_strategy.h) slots in — the paper's
+/// Fig. 7 search, the SA baseline, or a custom backend registered by
+/// name in api/strategy.h.
 class DesignSpaceExplorer {
 public:
     explicit DesignSpaceExplorer(SerModel ser,
                                  ExposurePolicy policy = ExposurePolicy::full_duration);
 
+    /// Explore with the default Fig. 7 "optimized" strategy built from
+    /// `params.search`.
     DseResult explore(const TaskGraph& graph, const MpsocArchitecture& arch,
                       double deadline_seconds, const DseParams& params) const;
+
+    /// Explore with an explicit strategy. `observer`, when non-null,
+    /// streams per-scaling progress and incumbent (P, Gamma) designs
+    /// (serialized, possibly from worker threads); `cancel`, when
+    /// non-null, stops the exploration cooperatively — already-finished
+    /// scalings are folded into the (partial) result.
+    DseResult explore(const TaskGraph& graph, const MpsocArchitecture& arch,
+                      double deadline_seconds, const DseParams& params,
+                      const SearchStrategy& strategy,
+                      ProgressObserver* observer = nullptr,
+                      const CancellationToken* cancel = nullptr) const;
 
 private:
     SerModel ser_;

@@ -1,0 +1,12 @@
+#include "core/observer.h"
+
+namespace seamap {
+
+ProgressObserver::~ProgressObserver() = default;
+
+void ProgressObserver::on_explore_begin(std::size_t) {}
+void ProgressObserver::on_scaling_done(const ScalingProgress&) {}
+void ProgressObserver::on_incumbent(const DsePoint&) {}
+void ProgressObserver::on_explore_end(const DseResult&) {}
+
+} // namespace seamap

@@ -53,24 +53,12 @@ OptimizedMapping::OptimizedMapping(LocalSearchParams params) : params_(params) {
 
 LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
                                              const Mapping& initial,
-                                             SearchDeadline deadline) const {
+                                             const CancellationToken* cancel) const {
     if (!initial.complete())
         throw std::invalid_argument("OptimizedMapping: initial mapping incomplete");
 
-    using Clock = std::chrono::steady_clock;
-    const auto start_time = Clock::now();
-    auto budget_exhausted = [&](std::uint64_t iteration) {
-        if (params_.max_iterations > 0 && iteration >= params_.max_iterations) return true;
-        if (params_.time_budget_seconds > 0.0 || deadline) {
-            const auto now = Clock::now();
-            if (deadline && now >= *deadline) return true;
-            const std::chrono::duration<double> elapsed = now - start_time;
-            if (params_.time_budget_seconds > 0.0 &&
-                elapsed.count() >= params_.time_budget_seconds)
-                return true;
-        }
-        return false;
-    };
+    const SearchBudget budget(params_.max_iterations, params_.time_budget_seconds, cancel);
+    auto stopped = [&] { return cancel != nullptr && cancel->stop_requested(); };
 
     Rng rng(params_.seed);
     Mapping current = initial;                                     // step A
@@ -105,18 +93,17 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
             return candidate.feasible || candidate.tm_seconds < reference.tm_seconds;
         return candidate.feasible && candidate.gamma < reference.gamma;
     };
-    auto past_deadline = [&] { return deadline && Clock::now() >= *deadline; };
     // The paper's systematic pass: try every single-task move from the
     // current mapping and return the best strict improvement.
     auto sweep = [&]() {
         Mapping best_neighbor = current;
         DesignMetrics best_metrics = current_metrics;
         bool found = false;
-        for (TaskId t = 0; t < ctx.graph.task_count() && !past_deadline(); ++t) {
+        for (TaskId t = 0; t < ctx.graph.task_count() && !stopped(); ++t) {
             const CoreId original = current.core_of(t);
             if (params_.require_all_cores && current.task_count_on(original) == 1)
                 continue; // moving t would empty its core
-            for (CoreId core = 0; core < ctx.arch.core_count() && !past_deadline(); ++core) {
+            for (CoreId core = 0; core < ctx.arch.core_count() && !stopped(); ++core) {
                 if (core == original) continue;
                 Mapping candidate = current;
                 candidate.assign(t, core);
@@ -155,7 +142,7 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
     };
 
     std::uint64_t iteration = 0;
-    while (!budget_exhausted(iteration)) { // step B
+    while (!budget.exhausted(iteration)) { // step B
         ++iteration;
         if (restart_period > 0 && iteration % restart_period == 0 &&
             iteration + restart_period <= params_.max_iterations) {

@@ -12,17 +12,11 @@
 
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
+#include "util/cancellation.h"
 
-#include <chrono>
 #include <cstdint>
-#include <optional>
 
 namespace seamap {
-
-/// Absolute wall-clock cutoff for a search (e.g. the explorer's global
-/// time budget). Checked inside the annealing loop, so a search never
-/// overshoots it by more than one design evaluation.
-using SearchDeadline = std::optional<std::chrono::steady_clock::time_point>;
 
 /// Search knobs. The paper uses wall-clock budgets (40-130 min of
 /// SystemC-driven search); with the analytic evaluator the default
@@ -75,10 +69,12 @@ public:
 
     /// Search from `initial` (complete). Returns the best feasible
     /// design by Gamma; if none was found, the design closest to
-    /// feasibility (smallest T_M). A `deadline` caps the walk on top of
-    /// the iteration/time budgets.
+    /// feasibility (smallest T_M). An optional `cancel` token caps the
+    /// walk on top of the iteration/time budgets — it is checked inside
+    /// the loop, so a search never overshoots a stop request or token
+    /// deadline by more than one design evaluation.
     LocalSearchResult optimize(const EvaluationContext& ctx, const Mapping& initial,
-                               SearchDeadline deadline = std::nullopt) const;
+                               const CancellationToken* cancel = nullptr) const;
 
 private:
     LocalSearchParams params_;

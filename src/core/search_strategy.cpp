@@ -1,0 +1,23 @@
+#include "core/search_strategy.h"
+
+namespace seamap {
+
+SearchStrategy::~SearchStrategy() = default;
+
+OptimizedMappingStrategy::OptimizedMappingStrategy(LocalSearchParams params)
+    : params_(params) {
+    (void)OptimizedMapping(params_);
+}
+
+std::string OptimizedMappingStrategy::name() const { return "optimized"; }
+
+LocalSearchResult OptimizedMappingStrategy::search(const EvaluationContext& ctx,
+                                                   const Mapping& initial,
+                                                   std::uint64_t seed,
+                                                   const CancellationToken* cancel) const {
+    LocalSearchParams params = params_;
+    params.seed = seed;
+    return OptimizedMapping(params).optimize(ctx, initial, cancel);
+}
+
+} // namespace seamap

@@ -1,0 +1,23 @@
+// Umbrella header of the seamap public API — one include for the whole
+// Fig. 4 flow:
+//
+//   Problem / ProblemBuilder   (api/problem.h)   what to optimize
+//   SearchStrategy + registry  (api/strategy.h)  how to search mappings
+//   explore()                  (api/explore.h)   run the exploration
+//   ProgressObserver           (api/observer.h)  watch it run
+//   CancellationToken          (util/cancellation.h) stop it early
+//   to_json / JsonValue        (api/json.h)      machine-readable results
+//
+// Workload builders (taskgraph/, tgff/) and the fault injector (sim/)
+// keep their own headers; the core types they produce/consume
+// (TaskGraph, MpsocArchitecture, DseResult, ...) arrive transitively.
+#pragma once
+
+#include "seamap/version.h"
+
+#include "api/explore.h"
+#include "api/json.h"
+#include "api/observer.h"
+#include "api/problem.h"
+#include "api/strategy.h"
+#include "util/cancellation.h"

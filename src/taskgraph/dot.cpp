@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace seamap {
 
@@ -15,8 +17,26 @@ constexpr std::array<const char*, 8> k_core_colors = {
     "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
 };
 
+/// DOT double-quoted string escaping: backslash and quote are escaped,
+/// and literal line breaks become the \n / \r label escapes so names
+/// with newlines still produce one valid quoted string.
+std::string escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
 void write_header(std::ostream& os, const TaskGraph& graph) {
-    os << "digraph \"" << graph.name() << "\" {\n";
+    os << "digraph \"" << escape(graph.name()) << "\" {\n";
     os << "  rankdir=TB;\n";
     os << "  node [shape=box, style=\"rounded,filled\", fillcolor=\"#f0f0f0\"];\n";
 }
@@ -33,7 +53,7 @@ void write_dot(std::ostream& os, const TaskGraph& graph) {
     write_header(os, graph);
     for (TaskId id = 0; id < graph.task_count(); ++id) {
         const Task& task = graph.task(id);
-        os << "  t" << id << " [label=\"" << task.name << "\\n" << task.exec_cycles
+        os << "  t" << id << " [label=\"" << escape(task.name) << "\\n" << task.exec_cycles
            << " cyc\"];\n";
     }
     write_edges(os, graph);
@@ -48,7 +68,7 @@ void write_dot_mapped(std::ostream& os, const TaskGraph& graph,
     for (TaskId id = 0; id < graph.task_count(); ++id) {
         const Task& task = graph.task(id);
         const char* color = k_core_colors[core_of[id] % k_core_colors.size()];
-        os << "  t" << id << " [label=\"" << task.name << "\\ncore " << core_of[id]
+        os << "  t" << id << " [label=\"" << escape(task.name) << "\\ncore " << core_of[id]
            << "\", fillcolor=\"" << color << "\"];\n";
     }
     write_edges(os, graph);

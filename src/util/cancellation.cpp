@@ -1,0 +1,14 @@
+#include "util/cancellation.h"
+
+namespace seamap {
+
+void CancellationToken::set_budget_seconds(double seconds) {
+    if (seconds <= 0.0) {
+        deadline_.reset();
+        return;
+    }
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+}
+
+} // namespace seamap

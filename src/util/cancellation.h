@@ -1,0 +1,100 @@
+// Cooperative cancellation for long-running searches. A
+// CancellationToken carries an explicit stop request (thread-safe,
+// settable from any thread, e.g. a signal handler or UI) and an
+// optional wall-clock deadline — together they subsume the old
+// core/optimized_mapping.h SearchDeadline. Tokens can be chained: a
+// child token created with a parent pointer also stops when the parent
+// does, which is how the explorer combines its own time budget with a
+// caller-supplied token.
+//
+// Configuration (set_deadline / set_budget_seconds) must happen before
+// the token is shared with worker threads; only request_stop() and the
+// queries are thread-safe afterwards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+namespace seamap {
+
+class CancellationToken {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    CancellationToken() = default;
+    /// Child token: also reports stop when `parent` does. `parent` must
+    /// outlive this token (not owned).
+    explicit CancellationToken(const CancellationToken* parent) : parent_(parent) {}
+
+    // Tokens are shared by reference between threads; copying one would
+    // silently fork the stop flag.
+    CancellationToken(const CancellationToken&) = delete;
+    CancellationToken& operator=(const CancellationToken&) = delete;
+
+    /// Ask every cooperating search to stop at its next check.
+    void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+    /// Absolute wall-clock cutoff after which stop_requested() is true.
+    void set_deadline(Clock::time_point when) { deadline_ = when; }
+    /// Relative form: now + `seconds`; values <= 0 clear the deadline.
+    void set_budget_seconds(double seconds);
+
+    std::optional<Clock::time_point> deadline() const { return deadline_; }
+
+    /// True once request_stop() was called (here or on an ancestor).
+    bool cancel_requested() const {
+        if (stop_.load(std::memory_order_relaxed)) return true;
+        return parent_ != nullptr && parent_->cancel_requested();
+    }
+
+    /// True when the search should wind down: explicit request or an
+    /// expired deadline, on this token or any ancestor. Cheap when no
+    /// deadline is set (one relaxed atomic load per level).
+    bool stop_requested() const {
+        if (stop_.load(std::memory_order_relaxed)) return true;
+        if (deadline_ && Clock::now() >= *deadline_) return true;
+        return parent_ != nullptr && parent_->stop_requested();
+    }
+
+private:
+    std::atomic<bool> stop_{false};
+    std::optional<Clock::time_point> deadline_;
+    const CancellationToken* parent_ = nullptr;
+};
+
+/// The stop condition shared by the iterative search engines: an
+/// iteration cap (0 = uncapped), a wall-clock budget measured from
+/// construction (<= 0 = none), and an optional cancellation token.
+/// Both mapping searches terminate through one of these, so their
+/// semantics cannot drift apart.
+class SearchBudget {
+public:
+    SearchBudget(std::uint64_t max_iterations, double time_budget_seconds,
+                 const CancellationToken* cancel)
+        : max_iterations_(max_iterations),
+          time_budget_seconds_(time_budget_seconds),
+          cancel_(cancel),
+          start_(CancellationToken::Clock::now()) {}
+
+    /// True once `iteration` exceeds the cap, the budget elapsed, or a
+    /// stop was requested. Cheap when no budget/deadline is armed.
+    bool exhausted(std::uint64_t iteration) const {
+        if (max_iterations_ > 0 && iteration >= max_iterations_) return true;
+        if (cancel_ != nullptr && cancel_->stop_requested()) return true;
+        if (time_budget_seconds_ > 0.0) {
+            const std::chrono::duration<double> elapsed =
+                CancellationToken::Clock::now() - start_;
+            if (elapsed.count() >= time_budget_seconds_) return true;
+        }
+        return false;
+    }
+
+private:
+    std::uint64_t max_iterations_;
+    double time_budget_seconds_;
+    const CancellationToken* cancel_;
+    CancellationToken::Clock::time_point start_;
+};
+
+} // namespace seamap

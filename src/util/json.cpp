@@ -1,0 +1,123 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace seamap {
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+    Object* object = std::get_if<Object>(&value_);
+    if (object == nullptr) throw std::logic_error("JsonValue: operator[] on a non-object");
+    for (Member& member : *object)
+        if (member.first == key) return member.second;
+    object->emplace_back(std::string(key), JsonValue());
+    return object->back().second;
+}
+
+void JsonValue::push_back(JsonValue element) {
+    Array* array = std::get_if<Array>(&value_);
+    if (array == nullptr) throw std::logic_error("JsonValue: push_back on a non-array");
+    array->push_back(std::move(element));
+}
+
+std::size_t JsonValue::size() const {
+    if (const Array* array = std::get_if<Array>(&value_)) return array->size();
+    if (const Object* object = std::get_if<Object>(&value_)) return object->size();
+    throw std::logic_error("JsonValue: size() on a scalar");
+}
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buffer[32];
+    const auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+    (void)ec; // 32 bytes always fit the shortest representation
+    return std::string(buffer, end);
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+    const bool pretty = indent >= 0;
+    const auto newline_pad = [&](int levels) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(levels), ' ');
+    };
+    if (std::holds_alternative<std::nullptr_t>(value_)) {
+        out += "null";
+    } else if (const bool* b = std::get_if<bool>(&value_)) {
+        out += *b ? "true" : "false";
+    } else if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+        out += std::to_string(*i);
+    } else if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+        out += std::to_string(*u);
+    } else if (const double* d = std::get_if<double>(&value_)) {
+        out += json_number(*d);
+    } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+        out += '"';
+        out += json_escape(*s);
+        out += '"';
+    } else if (const Array* array = std::get_if<Array>(&value_)) {
+        if (array->empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array->size(); ++i) {
+            if (i > 0) out += ',';
+            if (pretty) newline_pad(depth + 1);
+            (*array)[i].write(out, indent, depth + 1);
+        }
+        if (pretty) newline_pad(depth);
+        out += ']';
+    } else {
+        const Object& object = std::get<Object>(value_);
+        if (object.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object.size(); ++i) {
+            if (i > 0) out += ',';
+            if (pretty) newline_pad(depth + 1);
+            out += '"';
+            out += json_escape(object[i].first);
+            out += pretty ? "\": " : "\":";
+            object[i].second.write(out, indent, depth + 1);
+        }
+        if (pretty) newline_pad(depth);
+        out += '}';
+    }
+}
+
+std::string JsonValue::dump(int indent) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+} // namespace seamap

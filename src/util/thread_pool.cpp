@@ -45,6 +45,10 @@ std::size_t ThreadPool::hardware_threads() {
     return std::max(1u, std::thread::hardware_concurrency());
 }
 
+std::size_t ThreadPool::resolve_thread_count(std::size_t configured) {
+    return configured == 0 ? hardware_threads() : configured;
+}
+
 void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> job;
@@ -73,7 +77,7 @@ void ThreadPool::worker_loop() {
 void parallel_for_index(std::size_t count, std::size_t threads,
                         const std::function<void(std::size_t)>& f) {
     if (count == 0) return;
-    const std::size_t workers = std::min(std::max<std::size_t>(1, threads), count);
+    const std::size_t workers = std::min(ThreadPool::resolve_thread_count(threads), count);
     if (workers == 1) {
         for (std::size_t i = 0; i < count; ++i) f(i);
         return;

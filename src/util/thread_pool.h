@@ -11,8 +11,12 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace seamap {
@@ -33,12 +37,31 @@ public:
     /// Enqueue one job. Throws if called after the destructor started.
     void submit(std::function<void()> job);
 
+    /// Enqueue a job and get its result (or exception) back through a
+    /// future. A task that throws surfaces the exception via
+    /// future::get() — it is consumed there, so it neither reaches
+    /// wait_idle() nor kills the worker thread that ran the task.
+    template <typename F>
+    auto submit_task(F&& task) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto packaged =
+            std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+        std::future<Result> future = packaged->get_future();
+        submit([packaged] { (*packaged)(); });
+        return future;
+    }
+
     /// Block until every submitted job has finished. If any job threw,
     /// rethrows the first captured exception (the rest are dropped).
     void wait_idle();
 
     /// std::thread::hardware_concurrency() with a floor of 1.
     static std::size_t hardware_threads();
+
+    /// The project-wide "0 means auto" rule, resolved in exactly one
+    /// place: 0 clamps to hardware_threads(), anything else passes
+    /// through. Used by parallel_for_index and DseParams::num_threads.
+    static std::size_t resolve_thread_count(std::size_t configured);
 
 private:
     void worker_loop();
@@ -53,9 +76,10 @@ private:
     bool stopping_ = false;
 };
 
-/// Run f(i) for every i in [0, count). With threads <= 1 the calls run
-/// inline on the caller's thread; otherwise a temporary pool of
-/// min(threads, count) workers pulls indices from a shared counter.
+/// Run f(i) for every i in [0, count). `threads` follows the "0 means
+/// auto" rule (ThreadPool::resolve_thread_count); with one thread the
+/// calls run inline on the caller's thread, otherwise a temporary pool
+/// of min(threads, count) workers pulls indices from a shared counter.
 /// f must be safe to call concurrently for distinct indices; the first
 /// exception thrown by any call is rethrown on the caller's thread.
 void parallel_for_index(std::size_t count, std::size_t threads,

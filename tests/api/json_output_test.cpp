@@ -1,0 +1,168 @@
+// JSON output contract, in two halves:
+//  1. Golden tests: the util/json.h writer and the api/json.h result
+//     documents render to exactly known bytes (insertion order,
+//     escaping, shortest round-trip numbers).
+//  2. Determinism: the full `optimize --json` document built from a
+//     real exploration is byte-identical across thread counts, for
+//     both built-in strategies — the CLI prints exactly this string.
+#include "seamap/seamap.h"
+
+#include "taskgraph/fig8.h"
+
+#include <gtest/gtest.h>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace seamap {
+namespace {
+
+TEST(JsonWriter, ScalarsAndEscaping) {
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(std::int64_t{-7}).dump(), "-7");
+    EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ULL}).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(JsonValue(0.075).dump(), "0.075");
+    EXPECT_EQ(JsonValue(96.25).dump(), "96.25");
+    EXPECT_EQ(JsonValue("plain").dump(), "\"plain\"");
+    EXPECT_EQ(JsonValue("a\"b\\c\nd\te").dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+    EXPECT_EQ(JsonValue(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+    // Non-finite doubles have no JSON spelling; they become null.
+    EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, NumbersRoundTripThroughShortestForm) {
+    for (const double value : {0.1, 1.0 / 3.0, 29.97, 6.626e-34, 1e300, -0.0}) {
+        const std::string text = json_number(value);
+        EXPECT_EQ(std::stod(text), value) << text;
+    }
+}
+
+TEST(JsonWriter, CompactAndPrettyContainers) {
+    JsonValue doc = JsonValue::object();
+    doc["name"] = "fig8";
+    JsonValue levels = JsonValue::array();
+    levels.push_back(1);
+    levels.push_back(2);
+    doc["levels"] = std::move(levels);
+    doc["empty_list"] = JsonValue::array();
+    doc["nested"] = JsonValue::object();
+    doc["nested"]["ok"] = true;
+    EXPECT_EQ(doc.dump(),
+              "{\"name\":\"fig8\",\"levels\":[1,2],\"empty_list\":[],"
+              "\"nested\":{\"ok\":true}}");
+    EXPECT_EQ(doc.dump(2), "{\n"
+                           "  \"name\": \"fig8\",\n"
+                           "  \"levels\": [\n"
+                           "    1,\n"
+                           "    2\n"
+                           "  ],\n"
+                           "  \"empty_list\": [],\n"
+                           "  \"nested\": {\n"
+                           "    \"ok\": true\n"
+                           "  }\n"
+                           "}");
+}
+
+TEST(JsonWriter, ObjectOperationsKeepInsertionOrder) {
+    JsonValue doc = JsonValue::object();
+    doc["z"] = 1;
+    doc["a"] = 2;
+    doc["z"] = 3; // overwrite keeps the original position
+    EXPECT_EQ(doc.dump(), "{\"z\":3,\"a\":2}");
+    EXPECT_THROW(doc.push_back(1), std::logic_error);
+    EXPECT_THROW(JsonValue(1).size(), std::logic_error);
+    EXPECT_THROW(JsonValue::array()["key"], std::logic_error);
+}
+
+TEST(JsonResults, DesignMetricsGolden) {
+    DesignMetrics metrics;
+    metrics.tm_seconds = 0.06;
+    metrics.latency_seconds = 0.0625;
+    metrics.register_bits = 14592;
+    metrics.gamma = 1.5e-05;
+    metrics.power_mw = 96.25;
+    metrics.feasible = true;
+    EXPECT_EQ(to_json(metrics).dump(),
+              "{\"tm_seconds\":0.06,\"latency_seconds\":0.0625,"
+              "\"register_bits\":14592,\"gamma\":1.5e-05,\"power_mw\":96.25,"
+              "\"feasible\":true}");
+}
+
+TEST(JsonResults, DseResultGolden) {
+    DsePoint point;
+    point.levels = {1, 2};
+    point.mapping = Mapping(3, 2);
+    point.mapping.assign(0, 0);
+    point.mapping.assign(1, 1);
+    point.mapping.assign(2, 1);
+    point.metrics.tm_seconds = 0.5;
+    point.metrics.latency_seconds = 0.5;
+    point.metrics.register_bits = 1024;
+    point.metrics.gamma = 0.25;
+    point.metrics.power_mw = 50.5;
+    point.metrics.feasible = true;
+
+    DseResult result;
+    result.best = point;
+    result.feasible_points = {point};
+    result.pareto_front = {point};
+    result.scalings_total = 3;
+    result.scalings_enumerated = 3;
+    result.scalings_searched = 2;
+    result.scalings_skipped_infeasible = 1;
+
+    const std::string point_json =
+        "{\"levels\":[1,2],\"core_of\":[0,1,1],\"metrics\":"
+        "{\"tm_seconds\":0.5,\"latency_seconds\":0.5,\"register_bits\":1024,"
+        "\"gamma\":0.25,\"power_mw\":50.5,\"feasible\":true}}";
+    EXPECT_EQ(to_json(result).dump(),
+              "{\"scalings\":{\"total\":3,\"enumerated\":3,\"searched\":2,"
+              "\"skipped_infeasible\":1},\"best\":" +
+                  point_json + ",\"feasible_count\":1,\"pareto_front\":[" + point_json +
+                  "]}");
+}
+
+std::string fig8_report(const std::string& strategy, std::size_t threads) {
+    const Problem problem = ProblemBuilder()
+                                .graph(fig8_example_graph())
+                                .architecture(3, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(k_fig8_deadline_seconds)
+                                .build();
+    ExploreOptions options;
+    options.strategy = strategy;
+    options.dse.search.max_iterations = 800;
+    options.dse.search.seed = 3;
+    options.dse.num_threads = threads;
+    const DseResult result = explore(problem, options);
+    return optimize_report_json(problem, options.strategy, result).dump(2);
+}
+
+TEST(JsonResults, OptimizeReportIsByteIdenticalAcrossThreadCounts) {
+    for (const char* strategy : {"optimized", "annealing"}) {
+        const std::string serial = fig8_report(strategy, 1);
+        const std::string parallel = fig8_report(strategy, 8);
+        const std::string automatic = fig8_report(strategy, 0);
+        EXPECT_EQ(serial, parallel) << strategy;
+        EXPECT_EQ(serial, automatic) << strategy;
+    }
+}
+
+TEST(JsonResults, OptimizeReportCarriesTheDocumentedSchema) {
+    const std::string report = fig8_report("optimized", 1);
+    for (const char* key :
+         {"\"seamap_version\": \"" SEAMAP_VERSION_STRING "\"",
+          "\"strategy\": \"optimized\"", "\"problem\": {", "\"graph\": {",
+          "\"name\": \"fig8_example\"", "\"architecture\": {", "\"cores\": 3",
+          "\"deadline_seconds\": 0.075", "\"exposure_policy\": \"full_duration\"",
+          "\"result\": {", "\"scalings\": {", "\"total\": 10", "\"enumerated\": 10",
+          "\"best\": {",
+          "\"levels\": [", "\"core_of\": [", "\"pareto_front\": ["})
+        EXPECT_NE(report.find(key), std::string::npos) << key;
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,101 @@
+// ProblemBuilder contract: validation happens once at build(), the
+// built Problem is immutable and cheaply copyable, and the evaluation
+// context it hands out scores designs exactly like the hand-assembled
+// EvaluationContext the internals use.
+#include "seamap/seamap.h"
+
+#include "taskgraph/fig8.h"
+
+#include <gtest/gtest.h>
+#include <stdexcept>
+
+namespace seamap {
+namespace {
+
+Problem fig8_problem() {
+    return ProblemBuilder()
+        .graph(fig8_example_graph())
+        .architecture(3, VoltageScalingTable::arm7_three_level())
+        .deadline_seconds(k_fig8_deadline_seconds)
+        .build();
+}
+
+TEST(ProblemBuilder, BuildsACompleteProblem) {
+    const Problem problem = fig8_problem();
+    EXPECT_EQ(problem.graph().task_count(), 6u);
+    EXPECT_EQ(problem.architecture().core_count(), 3u);
+    EXPECT_DOUBLE_EQ(problem.deadline_seconds(), k_fig8_deadline_seconds);
+    EXPECT_EQ(problem.exposure_policy(), ExposurePolicy::full_duration);
+    EXPECT_DOUBLE_EQ(problem.ser_model().params().ser_ref_per_bit_cycle, 1e-9);
+}
+
+TEST(ProblemBuilder, EvaluationContextMatchesHandAssembledOne) {
+    const Problem problem = fig8_problem();
+    const EvaluationContext from_api = problem.evaluation_context({1, 2, 2});
+    const EvaluationContext by_hand{problem.graph(), problem.architecture(), {1, 2, 2},
+                                    SeuEstimator{SerModel{}}, k_fig8_deadline_seconds};
+    const Mapping mapping = round_robin_mapping(problem.graph(), 3);
+    const DesignMetrics a = evaluate_design(from_api, mapping);
+    const DesignMetrics b = evaluate_design(by_hand, mapping);
+    EXPECT_EQ(a.tm_seconds, b.tm_seconds);
+    EXPECT_EQ(a.gamma, b.gamma);
+    EXPECT_EQ(a.power_mw, b.power_mw);
+    EXPECT_EQ(a.register_bits, b.register_bits);
+}
+
+TEST(ProblemBuilder, EvaluationContextValidatesScaling) {
+    const Problem problem = fig8_problem();
+    EXPECT_THROW((void)problem.evaluation_context({1, 2}), std::exception);
+    EXPECT_THROW((void)problem.evaluation_context({1, 2, 9}), std::exception);
+}
+
+TEST(ProblemBuilder, MissingPiecesAreAllReported) {
+    try {
+        (void)ProblemBuilder().build();
+        FAIL() << "build() should have thrown";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("graph not set"), std::string::npos);
+        EXPECT_NE(what.find("architecture not set"), std::string::npos);
+        EXPECT_NE(what.find("deadline not set"), std::string::npos);
+    }
+}
+
+TEST(ProblemBuilder, RejectsNonPositiveDeadline) {
+    ProblemBuilder builder;
+    builder.graph(fig8_example_graph())
+        .architecture(3, VoltageScalingTable::arm7_three_level());
+    EXPECT_THROW((void)builder.deadline_seconds(0.0).build(), std::invalid_argument);
+    EXPECT_THROW((void)builder.deadline_seconds(-1.0).build(), std::invalid_argument);
+    EXPECT_NO_THROW((void)builder.deadline_seconds(0.075).build());
+}
+
+TEST(ProblemBuilder, RejectsAnInvalidGraphAtBuildTime) {
+    TaskGraph cyclic("cycle", RegisterFile{});
+    const TaskId a = cyclic.add_task("a", 100);
+    const TaskId b = cyclic.add_task("b", 100);
+    cyclic.add_edge(a, b, 1);
+    cyclic.add_edge(b, a, 1);
+    ProblemBuilder builder;
+    builder.graph(std::move(cyclic))
+        .architecture(2, VoltageScalingTable::arm7_three_level())
+        .deadline_seconds(1.0);
+    try {
+        (void)builder.build();
+        FAIL() << "build() should have rejected the cyclic graph";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("invalid graph"), std::string::npos);
+    }
+}
+
+TEST(Problem, CopiesShareTheImmutableState) {
+    const Problem original = fig8_problem();
+    const Problem copy = original;
+    // Same underlying state, not a deep copy: the accessors must return
+    // the very same objects, so references stay valid across copies.
+    EXPECT_EQ(&original.graph(), &copy.graph());
+    EXPECT_EQ(&original.architecture(), &copy.architecture());
+}
+
+} // namespace
+} // namespace seamap

@@ -1,8 +1,9 @@
 // Determinism regression for the parallel explorer: with no wall-clock
 // budget, explore() must return bit-identical results for any thread
 // count — every scaling combination is searched with the same derived
-// seed and the merge folds slots in enumeration order.
-#include "core/dse.h"
+// seed and the merge folds slots in enumeration order. The guarantee is
+// per *strategy*: both built-in search strategies are pinned here.
+#include "seamap/seamap.h"
 
 #include "taskgraph/fig8.h"
 #include "taskgraph/mpeg2.h"
@@ -17,13 +18,18 @@ namespace seamap {
 namespace {
 
 DseResult run_explore(const TaskGraph& graph, std::size_t cores, double deadline,
-                      std::size_t threads) {
-    DseParams params;
-    params.search.max_iterations = 600;
-    params.search.seed = 7;
-    params.num_threads = threads;
-    const MpsocArchitecture arch(cores, VoltageScalingTable::arm7_three_level());
-    return DesignSpaceExplorer{SerModel{}}.explore(graph, arch, deadline, params);
+                      std::size_t threads, const std::string& strategy = "optimized") {
+    ExploreOptions options;
+    options.strategy = strategy;
+    options.dse.search.max_iterations = 600;
+    options.dse.search.seed = 7;
+    options.dse.num_threads = threads;
+    const Problem problem = ProblemBuilder()
+                                .graph(graph)
+                                .architecture(cores, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(deadline)
+                                .build();
+    return explore(problem, options);
 }
 
 void expect_point_identical(const DsePoint& a, const DsePoint& b) {
@@ -40,6 +46,7 @@ void expect_point_identical(const DsePoint& a, const DsePoint& b) {
 }
 
 void expect_result_identical(const DseResult& a, const DseResult& b) {
+    EXPECT_EQ(a.scalings_total, b.scalings_total);
     EXPECT_EQ(a.scalings_enumerated, b.scalings_enumerated);
     EXPECT_EQ(a.scalings_skipped_infeasible, b.scalings_skipped_infeasible);
     EXPECT_EQ(a.scalings_searched, b.scalings_searched);
@@ -71,10 +78,24 @@ TEST(DseParallel, Mpeg2BitIdenticalAcrossThreadCounts) {
     expect_result_identical(serial, parallel);
 }
 
-TEST(DseParallel, ZeroThreadsMeansHardwareConcurrency) {
+TEST(DseParallel, AnnealingStrategyBitIdenticalAcrossThreadCounts) {
     const TaskGraph graph = fig8_example_graph();
-    const DseResult serial = run_explore(graph, 3, 0.5, 1);
+    const DseResult serial = run_explore(graph, 3, 0.5, 1, "annealing");
+    const DseResult parallel = run_explore(graph, 3, 0.5, 8, "annealing");
+    ASSERT_TRUE(serial.best.has_value());
+    expect_result_identical(serial, parallel);
+}
+
+TEST(DseParallel, ZeroThreadsMeansHardwareConcurrency) {
+    // DseParams documents num_threads = 0 as "one per hardware thread",
+    // clamped in ThreadPool::resolve_thread_count: 0 and the explicit
+    // hardware count must produce identical results (as must serial).
+    const TaskGraph graph = fig8_example_graph();
     const DseResult automatic = run_explore(graph, 3, 0.5, 0);
+    const DseResult explicit_hw =
+        run_explore(graph, 3, 0.5, ThreadPool::hardware_threads());
+    const DseResult serial = run_explore(graph, 3, 0.5, 1);
+    expect_result_identical(automatic, explicit_hw);
     expect_result_identical(serial, automatic);
 }
 

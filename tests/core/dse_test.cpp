@@ -1,25 +1,35 @@
-#include "core/dse.h"
+// Fig. 4 exploration semantics, driven through the public API facade
+// (ProblemBuilder -> explore) so the tests pin the surface users call;
+// pareto_front_of keeps its direct unit coverage.
+#include "seamap/seamap.h"
 
 #include "taskgraph/fig8.h"
 #include "taskgraph/mpeg2.h"
 
+#include <chrono>
 #include <gtest/gtest.h>
 
 namespace seamap {
 namespace {
 
-DseParams quick_dse(std::uint64_t iterations = 800) {
-    DseParams params;
-    params.search.max_iterations = iterations;
-    params.search.seed = 1;
-    return params;
+Problem problem_for(const TaskGraph& graph, std::size_t cores, double deadline) {
+    return ProblemBuilder()
+        .graph(graph)
+        .architecture(cores, VoltageScalingTable::arm7_three_level())
+        .deadline_seconds(deadline)
+        .build();
+}
+
+ExploreOptions quick_options(std::uint64_t iterations = 800) {
+    ExploreOptions options;
+    options.dse.search.max_iterations = iterations;
+    options.dse.search.seed = 1;
+    return options;
 }
 
 TEST(Dse, ExploresAllScalingCombinationsOnFig8) {
-    const TaskGraph graph = fig8_example_graph();
-    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
-    const DesignSpaceExplorer explorer{SerModel{}};
-    const DseResult result = explorer.explore(graph, arch, 1.0, quick_dse());
+    const DseResult result =
+        explore(problem_for(fig8_example_graph(), 3, 1.0), quick_options());
     // C(3+3-1, 2) = 10 combinations; with a loose 1 s deadline none are
     // skipped and all are searched.
     EXPECT_EQ(result.scalings_enumerated, 10u);
@@ -30,10 +40,8 @@ TEST(Dse, ExploresAllScalingCombinationsOnFig8) {
 }
 
 TEST(Dse, BestIsMinimumPowerAmongFeasible) {
-    const TaskGraph graph = fig8_example_graph();
-    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
-    const DesignSpaceExplorer explorer{SerModel{}};
-    const DseResult result = explorer.explore(graph, arch, 0.2, quick_dse());
+    const DseResult result =
+        explore(problem_for(fig8_example_graph(), 3, 0.2), quick_options());
     ASSERT_TRUE(result.best.has_value());
     for (const DsePoint& point : result.feasible_points)
         EXPECT_GE(point.metrics.power_mw,
@@ -43,10 +51,8 @@ TEST(Dse, BestIsMinimumPowerAmongFeasible) {
 TEST(Dse, LooseDeadlinePicksDeepScaling) {
     // With an extremely loose deadline the cheapest design runs every
     // core at the slowest level (or leaves cores empty).
-    const TaskGraph graph = fig8_example_graph();
-    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_three_level());
-    const DesignSpaceExplorer explorer{SerModel{}};
-    const DseResult result = explorer.explore(graph, arch, 1e6, quick_dse());
+    const DseResult result =
+        explore(problem_for(fig8_example_graph(), 2, 1e6), quick_options());
     ASSERT_TRUE(result.best.has_value());
     // The all-slowest combination is feasible, so nothing cheaper exists.
     const DsePoint* slowest = nullptr;
@@ -58,36 +64,29 @@ TEST(Dse, LooseDeadlinePicksDeepScaling) {
 
 TEST(Dse, TightDeadlineSkipsSlowScalings) {
     const TaskGraph graph = fig8_example_graph();
-    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
-    const DesignSpaceExplorer explorer{SerModel{}};
     // A deadline moderately above the nominal-speed critical path:
     // tight enough that the slowest scaling combinations cannot make it
     // under any mapping (pre-skipped), loose enough that fast ones can.
     const double critical_path_seconds =
         static_cast<double>(graph.critical_path_cycles(false)) / 200e6;
-    const DseResult result =
-        explorer.explore(graph, arch, critical_path_seconds * 1.5, quick_dse(1'500));
+    const DseResult result = explore(problem_for(graph, 3, critical_path_seconds * 1.5),
+                                     quick_options(1'500));
     EXPECT_GT(result.scalings_skipped_infeasible, 0u);
     ASSERT_TRUE(result.best.has_value());
     EXPECT_TRUE(result.best->metrics.feasible);
 }
 
 TEST(Dse, ImpossibleDeadlineYieldsNoBest) {
-    const TaskGraph graph = fig8_example_graph();
-    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
-    const DesignSpaceExplorer explorer{SerModel{}};
-    const DseResult result = explorer.explore(graph, arch, 1e-9, quick_dse());
+    const DseResult result =
+        explore(problem_for(fig8_example_graph(), 3, 1e-9), quick_options());
     EXPECT_FALSE(result.best.has_value());
     EXPECT_TRUE(result.feasible_points.empty());
     EXPECT_EQ(result.scalings_skipped_infeasible, result.scalings_enumerated);
 }
 
 TEST(Dse, ParetoFrontIsNonDominatedAndSorted) {
-    const TaskGraph graph = mpeg2_decoder_graph();
-    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
-    const DesignSpaceExplorer explorer{SerModel{}};
-    const DseResult result =
-        explorer.explore(graph, arch, mpeg2_deadline_seconds(), quick_dse(600));
+    const DseResult result = explore(
+        problem_for(mpeg2_decoder_graph(), 4, mpeg2_deadline_seconds()), quick_options(600));
     ASSERT_FALSE(result.pareto_front.empty());
     for (std::size_t i = 1; i < result.pareto_front.size(); ++i) {
         EXPECT_GE(result.pareto_front[i].metrics.power_mw,
@@ -105,28 +104,48 @@ TEST(Dse, ParetoFrontIsNonDominatedAndSorted) {
 }
 
 TEST(Dse, RoundRobinSeedAblationStillWorks) {
-    const TaskGraph graph = fig8_example_graph();
-    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
-    const DesignSpaceExplorer explorer{SerModel{}};
-    DseParams params = quick_dse();
-    params.use_initial_sea_mapping = false;
-    const DseResult result = explorer.explore(graph, arch, 1.0, params);
+    ExploreOptions options = quick_options();
+    options.dse.use_initial_sea_mapping = false;
+    const DseResult result = explore(problem_for(fig8_example_graph(), 3, 1.0), options);
     EXPECT_TRUE(result.best.has_value());
 }
 
 TEST(Dse, TimeBudgetLimitsWork) {
-    const TaskGraph graph = mpeg2_decoder_graph();
-    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
-    const DesignSpaceExplorer explorer{SerModel{}};
-    DseParams params = quick_dse(200'000); // enormous per-scaling budget
-    params.search.time_budget_seconds = 0.02;
-    params.total_time_budget_seconds = 0.05;
+    ExploreOptions options = quick_options(200'000); // enormous per-scaling budget
+    options.dse.search.time_budget_seconds = 0.02;
+    options.dse.total_time_budget_seconds = 0.05;
     const auto start = std::chrono::steady_clock::now();
     const DseResult result =
-        explorer.explore(graph, arch, mpeg2_deadline_seconds(), params);
+        explore(problem_for(mpeg2_decoder_graph(), 4, mpeg2_deadline_seconds()), options);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
     EXPECT_LT(elapsed.count(), 5.0);
     EXPECT_LE(result.scalings_searched, result.scalings_enumerated);
+}
+
+TEST(Dse, LegacyExplorerEntryPointMatchesTheFacade) {
+    // DesignSpaceExplorer::explore without a strategy must behave
+    // exactly like the facade's registry-made "optimized" path — with
+    // non-default Fig. 7 tuning, so a registry factory that dropped
+    // fields like restarts/sweep_interval would be caught here.
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    DseParams params;
+    params.search.max_iterations = 800;
+    params.search.seed = 1;
+    params.search.restarts = 1;
+    params.search.sweep_interval = 7;
+    params.search.swap_probability = 0.45;
+    const DseResult direct =
+        DesignSpaceExplorer{SerModel{}}.explore(graph, arch, 0.2, params);
+    ExploreOptions options;
+    options.dse = params;
+    const DseResult facade = explore(problem_for(fig8_example_graph(), 3, 0.2), options);
+    ASSERT_EQ(direct.best.has_value(), facade.best.has_value());
+    ASSERT_TRUE(direct.best.has_value());
+    EXPECT_EQ(direct.best->levels, facade.best->levels);
+    EXPECT_EQ(direct.best->mapping, facade.best->mapping);
+    EXPECT_EQ(direct.best->metrics.gamma, facade.best->metrics.gamma);
+    EXPECT_EQ(direct.feasible_points.size(), facade.feasible_points.size());
 }
 
 TEST(ParetoFrontOf, FiltersDominatedPoints) {

@@ -1,0 +1,77 @@
+// ThreadPool contract beyond the parallel_for coverage in
+// tests/core/dse_parallel_test.cpp: the future-returning submit_task
+// surfaces results *and exceptions* through the future — a throwing
+// task must neither wedge wait_idle() nor kill its worker thread — and
+// the "0 means hardware" thread-count rule is resolved in one place.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <future>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+TEST(ThreadPool, SubmitTaskDeliversTheResult) {
+    ThreadPool pool(2);
+    std::future<int> sum = pool.submit_task([] { return 19 + 23; });
+    EXPECT_EQ(sum.get(), 42);
+    std::future<void> side_effect = pool.submit_task([] {});
+    EXPECT_NO_THROW(side_effect.get());
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesViaTheFuture) {
+    ThreadPool pool(2);
+    std::future<int> doomed =
+        pool.submit_task([]() -> int { throw std::runtime_error("boom"); });
+    try {
+        (void)doomed.get();
+        FAIL() << "the task's exception should have come through the future";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotWedgeOrKillWorkers) {
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    futures.push_back(
+        pool.submit_task([]() -> int { throw std::runtime_error("first"); }));
+    // Work submitted *after* the throwing task still runs to completion
+    // on the same workers...
+    std::atomic<int> executed{0};
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit_task([i, &executed]() -> int {
+            ++executed;
+            return i;
+        }));
+    // ...and wait_idle() returns normally: the exception was consumed
+    // by the packaged task, not left for the pool to rethrow.
+    EXPECT_NO_THROW(pool.wait_idle());
+    EXPECT_EQ(executed.load(), 64);
+    EXPECT_THROW((void)futures[0].get(), std::runtime_error);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i) + 1].get(), i);
+}
+
+TEST(ThreadPool, PlainSubmitStillReportsThroughWaitIdle) {
+    // The non-future path keeps its old contract: wait_idle() rethrows
+    // the first captured exception.
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("plain"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // The pool remains usable after the rethrow.
+    std::future<int> after = pool.submit_task([] { return 7; });
+    EXPECT_EQ(after.get(), 7);
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrencyInOnePlace) {
+    EXPECT_EQ(ThreadPool::resolve_thread_count(0), ThreadPool::hardware_threads());
+    EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1u);
+    EXPECT_EQ(ThreadPool::resolve_thread_count(5), 5u);
+    EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+} // namespace
+} // namespace seamap

@@ -1,16 +1,20 @@
 // seamap command-line tool: generate, inspect, optimize and
 // fault-inject task-graph workloads from the shell, using the text
-// .tg format of taskgraph/serialization.h.
+// .tg format of taskgraph/serialization.h and the seamap public API
+// (seamap/seamap.h) for everything downstream of the graph.
 //
 //   seamap_cli generate <tgff|fft|gauss|pipeline|mpeg2|fig8> [options] -o out.tg
-//   seamap_cli info     <graph.tg>
-//   seamap_cli optimize <graph.tg> --cores N --deadline S [options]
-//   seamap_cli inject   <graph.tg> --cores N --deadline S [options]
+//   seamap_cli info     <graph.tg> [--json]
+//   seamap_cli optimize <graph.tg> --cores N --deadline S [--strategy NAME] [--json] [...]
+//   seamap_cli inject   <graph.tg> --cores N --deadline S [--json] [...]
+//   seamap_cli version
 //
 // Run any subcommand with --help (or none) for its options. All
 // randomness is seeded (--seed); identical invocations produce
-// identical outputs.
-#include "core/dse.h"
+// identical outputs — `optimize --json` is byte-identical for every
+// --threads value.
+#include "seamap/seamap.h"
+
 #include "sched/gantt.h"
 #include "sim/fault_injection.h"
 #include "taskgraph/dot.h"
@@ -24,7 +28,6 @@
 
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -79,7 +82,8 @@ private:
     /// Options that never take a value, so a following positional is
     /// not swallowed when flags precede it.
     static bool is_boolean_flag(const std::string& arg) {
-        return arg == "--all-cores" || arg == "--gantt" || arg == "--help";
+        return arg == "--all-cores" || arg == "--gantt" || arg == "--help" ||
+               arg == "--json";
     }
 
     std::vector<std::string> args_;
@@ -94,15 +98,19 @@ void print_usage(std::ostream& out) {
         "           kinds: tgff (random, paper distributions; --tasks),\n"
         "                  fft (--log2 K), gauss (--n N), pipeline (--stages S --width W),\n"
         "                  mpeg2 (paper Fig. 2), fig8 (paper worked example)\n"
-        "  info <graph.tg>\n"
+        "  info <graph.tg> [--json]\n"
         "           structural summary: tasks, edges, costs, registers, critical path\n"
         "  optimize <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
+        "           [--strategy " << join(search_strategy_names(), "|") << "]\n"
         "           [--iterations I] [--seed S] [--threads W] [--all-cores]\n"
-        "           [--dot out.dot] [--gantt]\n"
+        "           [--json] [--dot out.dot] [--gantt]\n"
         "           full Fig. 4 DSE; prints the chosen design and the Pareto front\n"
         "  inject <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
-        "           [--iterations I] [--trials T] [--seed S] [--threads W]\n"
+        "           [--strategy NAME] [--iterations I] [--trials T] [--seed S]\n"
+        "           [--threads W] [--json]\n"
         "           optimize, then run a Poisson SEU fault-injection campaign\n"
+        "  version | --version\n"
+        "           print the library version\n"
         "  help | --help\n"
         "           show this message\n";
 }
@@ -128,6 +136,18 @@ VoltageScalingTable table_for(std::uint64_t levels) {
 double default_deadline(const TaskGraph& graph) {
     const MpsocArchitecture two(2, VoltageScalingTable::arm7_three_level());
     return 1.3 * tm_lower_bound_seconds(graph, two, {1, 1});
+}
+
+/// The shared front half of optimize/inject: problem from the CLI
+/// arguments, validated at build().
+Problem problem_from(const ArgList& args, const std::string& graph_path) {
+    const TaskGraph graph = load_task_graph(graph_path);
+    const double deadline = args.real("--deadline", default_deadline(graph));
+    return ProblemBuilder()
+        .graph(graph)
+        .architecture(args.u64("--cores", 4), table_for(args.u64("--levels", 3)))
+        .deadline_seconds(deadline)
+        .build();
 }
 
 int cmd_generate(const ArgList& args) {
@@ -184,6 +204,26 @@ int cmd_info(const ArgList& args) {
         return 2;
     }
     const TaskGraph graph = load_task_graph(positional[0]);
+    std::vector<TaskId> all(graph.task_count());
+    for (TaskId t = 0; t < graph.task_count(); ++t) all[t] = t;
+    if (args.flag("--json")) {
+        JsonValue out = JsonValue::object();
+        out["seamap_version"] = k_version_string;
+        out["name"] = graph.name();
+        out["tasks"] = static_cast<std::uint64_t>(graph.task_count());
+        out["edges"] = static_cast<std::uint64_t>(graph.edge_count());
+        out["batches"] = graph.batch_count();
+        out["exec_cycles"] = graph.total_exec_cycles();
+        out["comm_cycles"] = graph.total_comm_cycles();
+        out["critical_path_cycles"] = graph.critical_path_cycles(true);
+        out["register_banks"] = static_cast<std::uint64_t>(graph.register_file().size());
+        out["register_bits"] = graph.register_file().total_bits();
+        out["register_union_bits"] = graph.union_register_bits(all);
+        out["sources"] = static_cast<std::uint64_t>(graph.source_tasks().size());
+        out["sinks"] = static_cast<std::uint64_t>(graph.sink_tasks().size());
+        std::cout << out.dump(2) << '\n';
+        return 0;
+    }
     std::cout << "graph    : " << graph.name() << '\n';
     std::cout << "tasks    : " << graph.task_count() << '\n';
     std::cout << "edges    : " << graph.edge_count() << '\n';
@@ -194,8 +234,6 @@ int cmd_info(const ArgList& args) {
               << " cycles (with communication)\n";
     std::cout << "registers: " << graph.register_file().size() << " banks, "
               << fmt_grouped(graph.register_file().total_bits()) << " bits\n";
-    std::vector<TaskId> all(graph.task_count());
-    for (TaskId t = 0; t < graph.task_count(); ++t) all[t] = t;
     std::cout << "reg.union: " << fmt_grouped(graph.union_register_bits(all))
               << " bits (single-core floor)\n";
     std::cout << "sources  : " << graph.source_tasks().size()
@@ -209,20 +247,46 @@ int cmd_optimize(const ArgList& args) {
         std::cerr << "optimize: missing graph file\n";
         return 2;
     }
-    const TaskGraph graph = load_task_graph(positional[0]);
-    const std::size_t cores = args.u64("--cores", 4);
-    const MpsocArchitecture arch(cores, table_for(args.u64("--levels", 3)));
-    const double deadline = args.real("--deadline", default_deadline(graph));
+    const Problem problem = problem_from(args, positional[0]);
+    const TaskGraph& graph = problem.graph();
+    const MpsocArchitecture& arch = problem.architecture();
+    const std::size_t cores = arch.core_count();
 
-    DseParams params;
-    params.search.max_iterations = args.u64("--iterations", 6'000);
-    params.search.seed = args.u64("--seed", 1);
-    params.search.require_all_cores = args.flag("--all-cores");
-    params.num_threads = args.u64("--threads", 1);
-    const DesignSpaceExplorer explorer{SerModel{}};
-    const DseResult result = explorer.explore(graph, arch, deadline, params);
+    ExploreOptions options;
+    options.strategy = args.value("--strategy").value_or("optimized");
+    options.dse.search.max_iterations = args.u64("--iterations", 6'000);
+    options.dse.search.seed = args.u64("--seed", 1);
+    options.dse.search.require_all_cores = args.flag("--all-cores");
+    options.dse.num_threads = args.u64("--threads", 1);
+    const DseResult result = explore(problem, options);
 
-    std::cout << "deadline " << fmt_double(deadline, 3) << " s | scalings searched "
+    // --dot is a file side-effect, so it composes with --json (the
+    // confirmation goes to stderr to keep stdout pure JSON); --gantt is
+    // human-readable stdout and cannot.
+    auto write_dot_file = [&](const std::string& path, const DsePoint& best,
+                              std::ostream& log) -> bool {
+        std::ofstream dot(path);
+        if (!dot) {
+            std::cerr << "cannot write " << path << '\n';
+            return false;
+        }
+        std::vector<std::uint32_t> core_of(graph.task_count());
+        for (TaskId t = 0; t < graph.task_count(); ++t) core_of[t] = best.mapping.core_of(t);
+        write_dot_mapped(dot, graph, core_of);
+        log << "mapped graph written to " << path << '\n';
+        return true;
+    };
+
+    if (args.flag("--json")) {
+        if (args.flag("--gantt")) std::cerr << "--gantt is ignored with --json\n";
+        std::cout << optimize_report_json(problem, options.strategy, result).dump(2) << '\n';
+        if (const auto dot_path = args.value("--dot"); dot_path && result.best)
+            if (!write_dot_file(*dot_path, *result.best, std::cerr)) return 1;
+        return result.best ? 0 : 1;
+    }
+
+    std::cout << "deadline " << fmt_double(problem.deadline_seconds(), 3)
+              << " s | strategy " << options.strategy << " | scalings searched "
               << result.scalings_searched << "/" << result.scalings_enumerated << " ("
               << result.scalings_skipped_infeasible << " skipped)\n";
     if (!result.best) {
@@ -257,17 +321,8 @@ int cmd_optimize(const ArgList& args) {
             ListScheduler{}.schedule(graph, best.mapping, arch, best.levels);
         write_gantt(std::cout, graph, schedule);
     }
-    if (const auto dot_path = args.value("--dot")) {
-        std::ofstream dot(*dot_path);
-        if (!dot) {
-            std::cerr << "cannot write " << *dot_path << '\n';
-            return 1;
-        }
-        std::vector<std::uint32_t> core_of(graph.task_count());
-        for (TaskId t = 0; t < graph.task_count(); ++t) core_of[t] = best.mapping.core_of(t);
-        write_dot_mapped(dot, graph, core_of);
-        std::cout << "mapped graph written to " << *dot_path << '\n';
-    }
+    if (const auto dot_path = args.value("--dot"))
+        if (!write_dot_file(*dot_path, best, std::cout)) return 1;
     return 0;
 }
 
@@ -277,29 +332,55 @@ int cmd_inject(const ArgList& args) {
         std::cerr << "inject: missing graph file\n";
         return 2;
     }
-    const TaskGraph graph = load_task_graph(positional[0]);
-    const std::size_t cores = args.u64("--cores", 4);
-    const MpsocArchitecture arch(cores, table_for(args.u64("--levels", 3)));
-    const double deadline = args.real("--deadline", default_deadline(graph));
+    const Problem problem = problem_from(args, positional[0]);
     const std::uint64_t trials = args.u64("--trials", 200);
     const std::uint64_t seed = args.u64("--seed", 1);
 
-    DseParams params;
-    params.search.max_iterations = args.u64("--iterations", 4'000);
-    params.search.seed = seed;
-    params.num_threads = args.u64("--threads", 1);
-    const DesignSpaceExplorer explorer{SerModel{}};
-    const DseResult result = explorer.explore(graph, arch, deadline, params);
+    ExploreOptions options;
+    options.strategy = args.value("--strategy").value_or("optimized");
+    options.dse.search.max_iterations = args.u64("--iterations", 4'000);
+    options.dse.search.seed = seed;
+    options.dse.num_threads = args.u64("--threads", 1);
+    const DseResult result = explore(problem, options);
+    // One JSON shape for both outcomes: design null (and no "seu"
+    // block) when nothing feasible exists, so consumers parse a stable
+    // schema either way.
+    auto inject_report_header = [&] {
+        JsonValue out = JsonValue::object();
+        out["seamap_version"] = k_version_string;
+        out["strategy"] = options.strategy;
+        out["trials"] = trials;
+        out["seed"] = seed;
+        out["design"] = result.best ? to_json(*result.best) : JsonValue();
+        return out;
+    };
     if (!result.best) {
-        std::cerr << "no feasible design to inject into\n";
+        if (args.flag("--json"))
+            std::cout << inject_report_header().dump(2) << '\n';
+        else
+            std::cerr << "no feasible design to inject into\n";
         return 1;
     }
     const DsePoint& best = *result.best;
-    const Schedule schedule =
-        ListScheduler{}.schedule(graph, best.mapping, arch, best.levels);
-    const FaultInjector injector(SerModel{}, SimExposurePolicy::full_duration);
-    const auto campaign = injector.run_campaign(graph, best.mapping, arch, best.levels,
-                                                schedule, trials, seed);
+    const Schedule schedule = ListScheduler{}.schedule(problem.graph(), best.mapping,
+                                                       problem.architecture(), best.levels);
+    const FaultInjector injector(problem.ser_model(), SimExposurePolicy::full_duration);
+    const auto campaign =
+        injector.run_campaign(problem.graph(), best.mapping, problem.architecture(),
+                              best.levels, schedule, trials, seed);
+    if (args.flag("--json")) {
+        JsonValue out = inject_report_header();
+        JsonValue measured = JsonValue::object();
+        measured["analytic_gamma"] = campaign.analytic_gamma;
+        measured["mean"] = campaign.seu_stats.mean();
+        measured["ci95_halfwidth"] = campaign.seu_stats.ci95_halfwidth();
+        measured["stdev"] = campaign.seu_stats.stdev();
+        measured["min"] = campaign.seu_stats.min();
+        measured["max"] = campaign.seu_stats.max();
+        out["seu"] = std::move(measured);
+        std::cout << out.dump(2) << '\n';
+        return 0;
+    }
     std::cout << "design   : P " << fmt_double(best.metrics.power_mw, 2) << " mW, T_M "
               << fmt_double(best.metrics.tm_seconds, 3) << " s\n";
     std::cout << "analytic : " << fmt_sci(campaign.analytic_gamma, 4) << " SEUs (eq. 3)\n";
@@ -318,6 +399,10 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     const ArgList args(argc, argv, 2);
     try {
+        if (command == "version" || command == "--version") {
+            std::cout << "seamap " << k_version_string << '\n';
+            return 0;
+        }
         if (command == "--help" || command == "-h" || command == "help" ||
             args.flag("--help") || args.flag("-h")) {
             print_usage(std::cout);
