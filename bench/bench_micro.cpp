@@ -121,6 +121,103 @@ void bm_strategy_search(benchmark::State& state, const std::string& strategy_nam
 BENCHMARK_CAPTURE(bm_strategy_search, optimized, "optimized")->Arg(100)->Arg(1000);
 BENCHMARK_CAPTURE(bm_strategy_search, annealing, "annealing")->Arg(100)->Arg(1000);
 
+// --- EvalContext before/after benches ---------------------------------
+// Each pair runs the identical workload through the naive
+// evaluate_design() path (EvalOptions::naive_reference) and the
+// EvalContext fast path; results are bit-identical (pinned by
+// tests/core/eval_context_equivalence_test.cpp), so the ratio is pure
+// overhead removed.
+
+EvalOptions eval_options(bool naive) {
+    EvalOptions options;
+    options.naive_reference = naive;
+    return options;
+}
+
+// Full candidate evaluation: schedule + registers + Gamma + power.
+void bm_eval_full(benchmark::State& state, bool naive) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2, 3}, SeuEstimator{SerModel{}}, 10.0};
+    EvalContext eval(ctx, eval_options(naive));
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval.evaluate(mapping));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(graph.task_count()));
+}
+BENCHMARK_CAPTURE(bm_eval_full, naive, true)->Arg(11)->Arg(60)->Arg(100);
+BENCHMARK_CAPTURE(bm_eval_full, ctx, false)->Arg(11)->Arg(60)->Arg(100);
+
+// Schedule-dominated evaluation on a fresh mapping every iteration (no
+// base, no memo reuse possible): measures the precomputed-order,
+// allocation-free timing pass against the naive list scheduler path.
+void bm_eval_schedule(benchmark::State& state, bool naive) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2, 3}, SeuEstimator{SerModel{}}, 10.0};
+    EvalOptions options = eval_options(naive);
+    options.memoize = false;
+    EvalContext eval(ctx, options);
+    Mapping mapping = round_robin_mapping(graph, 4);
+    TaskId t = 0;
+    for (auto _ : state) {
+        mapping.assign(t, (mapping.core_of(t) + 1) % 4); // new mapping each iteration
+        t = static_cast<TaskId>((t + 1) % graph.task_count());
+        benchmark::DoNotOptimize(eval.evaluate(mapping));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(graph.task_count()));
+}
+BENCHMARK_CAPTURE(bm_eval_schedule, naive, true)->Arg(11)->Arg(60)->Arg(100);
+BENCHMARK_CAPTURE(bm_eval_schedule, ctx, false)->Arg(11)->Arg(60)->Arg(100);
+
+// The SA neighbourhood step — the explorer's dominant cost: one random
+// move/swap off the current mapping, fully evaluated, occasionally
+// accepted (rebasing the incremental anchor like the real walk does).
+void bm_sa_neighborhood_step(benchmark::State& state, bool naive) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {2, 2, 2, 2}, SeuEstimator{SerModel{}}, 1e9};
+    EvalContext eval(ctx, eval_options(naive));
+    Mapping current = round_robin_mapping(graph, 4);
+    eval.rebase(current);
+    Rng rng(7);
+    Mapping neighbor;
+    std::uint64_t step = 0;
+    for (auto _ : state) {
+        neighbor = current;
+        const NeighborOp op = random_neighbor_op(neighbor, rng, 0.3, false);
+        if (op.kind != NeighborOp::Kind::none)
+            benchmark::DoNotOptimize(eval.evaluate_neighbor(op));
+        if (++step % 8 == 0) { // accept ~1 in 8, like a cooling walk
+            std::swap(current, neighbor);
+            eval.rebase(current);
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(bm_sa_neighborhood_step, naive, true)->Arg(11)->Arg(60)->Arg(100);
+BENCHMARK_CAPTURE(bm_sa_neighborhood_step, ctx, false)->Arg(11)->Arg(60)->Arg(100);
+
+// End-to-end Fig. 4 exploration through the public API.
+void bm_explore_end_to_end(benchmark::State& state, bool naive) {
+    const Problem problem = ProblemBuilder()
+                                .graph(mpeg2_decoder_graph())
+                                .architecture(4, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(mpeg2_deadline_seconds())
+                                .build();
+    ExploreOptions options;
+    options.dse.search.max_iterations = 200;
+    options.dse.eval = eval_options(naive);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(explore(problem, options));
+    }
+}
+BENCHMARK_CAPTURE(bm_explore_end_to_end, naive, true);
+BENCHMARK_CAPTURE(bm_explore_end_to_end, ctx, false);
+
 void bm_scaling_enumeration(benchmark::State& state) {
     const auto cores = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {

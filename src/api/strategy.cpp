@@ -17,10 +17,17 @@ std::string AnnealingStrategy::name() const { return "annealing"; }
 LocalSearchResult AnnealingStrategy::search(const EvaluationContext& ctx,
                                             const Mapping& initial, std::uint64_t seed,
                                             const CancellationToken* cancel) const {
+    EvalContext eval(ctx);
+    return search(eval, initial, seed, cancel);
+}
+
+LocalSearchResult AnnealingStrategy::search(EvalContext& eval, const Mapping& initial,
+                                            std::uint64_t seed,
+                                            const CancellationToken* cancel) const {
     SaParams params = params_;
     params.seed = seed;
     const SaResult annealed =
-        SimulatedAnnealingMapper(params).optimize(ctx, objective_, initial, cancel);
+        SimulatedAnnealingMapper(params).optimize(eval, objective_, initial, cancel);
     LocalSearchResult result;
     result.best_mapping = annealed.best_mapping;
     result.best_metrics = annealed.best_metrics;

@@ -45,6 +45,8 @@ public:
     LocalSearchResult search(const EvaluationContext& ctx, const Mapping& initial,
                              std::uint64_t seed,
                              const CancellationToken* cancel = nullptr) const override;
+    LocalSearchResult search(EvalContext& eval, const Mapping& initial, std::uint64_t seed,
+                             const CancellationToken* cancel = nullptr) const override;
 
 private:
     SaParams params_;

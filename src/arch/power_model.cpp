@@ -34,4 +34,20 @@ double PowerModel::mpsoc_power_mw(std::span<const ScalingLevel> levels,
     return total;
 }
 
+double PowerModel::mpsoc_power_mw_precomputed(std::span<const double> core_active_mw,
+                                              std::span<const double> utilizations) const {
+    if (core_active_mw.size() != utilizations.size())
+        throw std::invalid_argument("PowerModel: active-power/utilizations size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < core_active_mw.size(); ++i) {
+        const double util = utilizations[i];
+        if (util < 0.0 || util > 1.0 + 1e-9)
+            throw std::invalid_argument("PowerModel: utilization outside [0, 1]");
+        if (util == 0.0) continue; // power-gated: no tasks mapped
+        const double activity = util + params_.idle_activity * (1.0 - util);
+        total += core_active_mw[i] * activity;
+    }
+    return total;
+}
+
 } // namespace seamap

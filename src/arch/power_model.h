@@ -43,6 +43,14 @@ public:
     double mpsoc_power_mw(std::span<const ScalingLevel> levels,
                           std::span<const double> utilizations) const;
 
+    /// Hot-path form of eq. (5) for a fixed scaling: the caller caches
+    /// core_active_power_mw(level) per core once (core/eval_context.h
+    /// does this per scaling combination) and only the utilizations
+    /// vary per candidate. Arithmetic is identical to mpsoc_power_mw —
+    /// same sums, same order — so results match bit-for-bit.
+    double mpsoc_power_mw_precomputed(std::span<const double> core_active_mw,
+                                      std::span<const double> utilizations) const;
+
 private:
     VoltageScalingTable table_;
     PowerParams params_;

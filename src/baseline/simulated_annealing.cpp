@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace seamap {
 
@@ -18,40 +19,6 @@ double penalized_cost(const SaParams& params, MappingObjective objective,
     if (metrics.feasible || deadline_seconds <= 0.0) return base;
     const double violation = metrics.tm_seconds / deadline_seconds - 1.0;
     return base * (1.0 + params.infeasibility_penalty * violation);
-}
-
-/// Mutate `mapping` in place; returns the touched tasks so the caller
-/// could undo (we copy instead: graphs are small).
-void random_neighbor(Mapping& mapping, Rng& rng, double swap_probability,
-                     bool require_all_cores) {
-    const auto tasks = static_cast<std::int64_t>(mapping.task_count());
-    const auto cores = static_cast<std::int64_t>(mapping.core_count());
-    if (cores < 2 || tasks < 1) return;
-    if (tasks >= 2 && rng.uniform() < swap_probability) {
-        // Swap the cores of two tasks on different cores (population-
-        // preserving, so always admissible).
-        for (int attempt = 0; attempt < 8; ++attempt) {
-            const auto a = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
-            const auto b = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
-            if (a == b) continue;
-            const CoreId core_a = mapping.core_of(a);
-            const CoreId core_b = mapping.core_of(b);
-            if (core_a == core_b) continue;
-            mapping.assign(a, core_b);
-            mapping.assign(b, core_a);
-            return;
-        }
-    }
-    // Move one task to a different core.
-    for (int attempt = 0; attempt < 8; ++attempt) {
-        const auto task = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
-        const CoreId old_core = mapping.core_of(task);
-        if (require_all_cores && mapping.task_count_on(old_core) == 1) continue;
-        auto target = static_cast<CoreId>(rng.uniform_int(0, cores - 2));
-        if (target >= old_core) ++target;
-        mapping.assign(task, target);
-        return;
-    }
 }
 
 } // namespace
@@ -73,14 +40,21 @@ SaResult SimulatedAnnealingMapper::optimize(const EvaluationContext& ctx,
                                             MappingObjective objective,
                                             const Mapping& initial,
                                             const CancellationToken* cancel) const {
+    EvalContext eval(ctx);
+    return optimize(eval, objective, initial, cancel);
+}
+
+SaResult SimulatedAnnealingMapper::optimize(EvalContext& eval, MappingObjective objective,
+                                            const Mapping& initial,
+                                            const CancellationToken* cancel) const {
     if (!initial.complete())
         throw std::invalid_argument("SimulatedAnnealingMapper: initial mapping incomplete");
+    const double deadline_seconds = eval.problem().deadline_seconds;
 
     Rng rng(params_.seed);
     Mapping current = initial;
-    DesignMetrics current_metrics = evaluate_design(ctx, current);
-    double current_cost =
-        penalized_cost(params_, objective, current_metrics, ctx.deadline_seconds);
+    DesignMetrics current_metrics = eval.rebase(current);
+    double current_cost = penalized_cost(params_, objective, current_metrics, deadline_seconds);
 
     SaResult result;
     result.best_mapping = current;
@@ -108,19 +82,21 @@ SaResult SimulatedAnnealingMapper::optimize(const EvaluationContext& ctx,
     // time-budget-only runs the schedule cycles every 10k iterations.
     const std::uint64_t cooling_segment =
         params_.iterations > 0 ? params_.iterations : 10'000;
+    Mapping neighbor;
     for (std::uint64_t iter = 0; !budget.exhausted(iter); ++iter) {
         const double progress = static_cast<double>(iter % cooling_segment) /
                                 static_cast<double>(cooling_segment);
         const double temperature =
             params_.initial_temperature * std::exp(cooling_exponent * progress);
 
-        Mapping neighbor = current;
-        random_neighbor(neighbor, rng, params_.swap_probability, params_.require_all_cores);
-        if (neighbor == current) continue;
-        const DesignMetrics neighbor_metrics = evaluate_design(ctx, neighbor);
+        neighbor = current;
+        const NeighborOp op = random_neighbor_op(neighbor, rng, params_.swap_probability,
+                                                 params_.require_all_cores);
+        if (op.kind == NeighborOp::Kind::none) continue; // mapping unchanged
+        const DesignMetrics neighbor_metrics = eval.evaluate_neighbor(op);
         ++result.evaluations;
         const double neighbor_cost =
-            penalized_cost(params_, objective, neighbor_metrics, ctx.deadline_seconds);
+            penalized_cost(params_, objective, neighbor_metrics, deadline_seconds);
 
         const double relative_delta =
             current_cost > 0.0 ? (neighbor_cost - current_cost) / current_cost
@@ -128,9 +104,10 @@ SaResult SimulatedAnnealingMapper::optimize(const EvaluationContext& ctx,
         const bool accept = relative_delta <= 0.0 ||
                             rng.uniform() < std::exp(-relative_delta / temperature);
         if (accept) {
-            current = std::move(neighbor);
+            std::swap(current, neighbor); // keeps neighbor's storage alive for reuse
             current_metrics = neighbor_metrics;
             current_cost = neighbor_cost;
+            eval.rebase(current);
             ++result.accepted_moves;
             if (better_than_best(current_metrics)) {
                 result.best_mapping = current;

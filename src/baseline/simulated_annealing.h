@@ -7,6 +7,7 @@
 #pragma once
 
 #include "baseline/objectives.h"
+#include "core/eval_context.h"
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
 #include "util/cancellation.h"
@@ -56,9 +57,17 @@ public:
     /// Anneal from `initial` (must be complete). The best *feasible*
     /// design seen is returned; if none is feasible, the design with
     /// the smallest deadline violation. An optional `cancel` token is
-    /// checked once per iteration and stops the walk early.
+    /// checked once per iteration and stops the walk early. Builds a
+    /// fresh EvalContext internally (fast path, default EvalOptions).
     SaResult optimize(const EvaluationContext& ctx, MappingObjective objective,
                       const Mapping& initial,
+                      const CancellationToken* cancel = nullptr) const;
+
+    /// Anneal on a caller-provided evaluation context (per-scaling
+    /// scratch + memo reuse; tests/benches select the naive-reference
+    /// path through it). The walk is a pure function of
+    /// (ctx, objective, initial, seed) for every EvalOptions choice.
+    SaResult optimize(EvalContext& eval, MappingObjective objective, const Mapping& initial,
                       const CancellationToken* cancel = nullptr) const;
 
 private:

@@ -28,8 +28,13 @@ struct ScalingOutcome {
     DsePoint point;
 };
 
+/// Symmetric relative comparison for the Pareto dedup. Purely
+/// relative: the epsilon scales with max(|a|, |b|) and nothing else,
+/// so degenerate near-zero metrics (a 0-power design vs. a 1e-12-power
+/// design) stay distinct instead of collapsing under an absolute
+/// floor. Exact equality (including 0 == 0) still deduplicates.
 bool nearly_equal(double a, double b) {
-    return std::abs(a - b) <= 1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
+    return std::abs(a - b) <= 1e-9 * std::max(std::abs(a), std::abs(b));
 }
 
 /// The paper's step-3 selection rule: lower power wins; within the
@@ -129,6 +134,11 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
 
         EvaluationContext ctx{graph, arch, levels, SeuEstimator(ser_, policy_),
                               deadline_seconds};
+        // The reusable per-scaling evaluation engine this worker's
+        // search runs on: preallocated scratch, incremental
+        // rescheduling and the memo table all live here, private to
+        // this worker, so thread-count invariance is untouched.
+        EvalContext eval(ctx, params.eval);
 
         // Step 2: soft error-aware mapping through the pluggable
         // strategy. Vary the search seed per scaling so repeated
@@ -139,7 +149,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         std::uint64_t level_hash = 0xcbf29ce484222325ULL;
         for (ScalingLevel level : levels) level_hash = splitmix64(level_hash ^ level);
         const std::uint64_t seed = splitmix64(params.search.seed ^ level_hash);
-        LocalSearchResult searched = strategy.search(ctx, initial, seed, &stop);
+        LocalSearchResult searched = strategy.search(eval, initial, seed, &stop);
         if (!searched.found_feasible) {
             outcome.status = ScalingOutcome::Status::searched_no_design;
             notify(index, outcome);
@@ -201,8 +211,17 @@ std::vector<DsePoint> pareto_front_of(const std::vector<DsePoint>& points) {
         }
         if (!dominated) front.push_back(candidate);
     }
+    // Total order (power, gamma, levels, mapping) — not just power —
+    // so the sorted front, and therefore which representative of a
+    // near-duplicate group survives the dedup below, is independent of
+    // the order candidates were evaluated in (std::sort is unstable;
+    // sorting on power alone left equal-power groups in input order).
     std::sort(front.begin(), front.end(), [](const DsePoint& a, const DsePoint& b) {
-        return a.metrics.power_mw < b.metrics.power_mw;
+        if (a.metrics.power_mw != b.metrics.power_mw)
+            return a.metrics.power_mw < b.metrics.power_mw;
+        if (a.metrics.gamma != b.metrics.gamma) return a.metrics.gamma < b.metrics.gamma;
+        if (a.levels != b.levels) return a.levels < b.levels;
+        return a.mapping.raw() < b.mapping.raw();
     });
     // Drop near-duplicates on (P, Gamma) so the front is a clean
     // staircase; exact float equality would keep points that differ

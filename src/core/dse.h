@@ -14,6 +14,7 @@
 #pragma once
 
 #include "arch/mpsoc.h"
+#include "core/eval_context.h"
 #include "core/optimized_mapping.h"
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
@@ -61,6 +62,13 @@ struct DseParams {
     /// (`total_time_budget_seconds` / `search.time_budget_seconds`)
     /// or cancellation cuts searches short.
     std::size_t num_threads = 1;
+    /// Evaluation-path knobs for the per-scaling EvalContext each
+    /// worker runs its search on (core/eval_context.h). Every setting
+    /// — fast, memo/incremental disabled, or the naive reference —
+    /// yields bit-identical results; the default is the full fast
+    /// path. Exposed so the equivalence harness and the benches can
+    /// pin the optimization against the naive path end-to-end.
+    EvalOptions eval;
 };
 
 /// Exploration outcome.

@@ -1,0 +1,472 @@
+#include "core/eval_context.h"
+
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace seamap {
+
+NeighborOp random_neighbor_op(Mapping& mapping, Rng& rng, double swap_probability,
+                              bool require_all_cores) {
+    NeighborOp op;
+    const auto tasks = static_cast<std::int64_t>(mapping.task_count());
+    const auto cores = static_cast<std::int64_t>(mapping.core_count());
+    if (cores < 2 || tasks < 1) return op;
+    if (tasks >= 2 && rng.uniform() < swap_probability) {
+        // Swaps never change per-core populations, so they are always
+        // admissible under require_all_cores.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            const auto a = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+            const auto b = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+            if (a == b || mapping.core_of(a) == mapping.core_of(b)) continue;
+            const CoreId core_a = mapping.core_of(a);
+            mapping.assign(a, mapping.core_of(b));
+            mapping.assign(b, core_a);
+            op.kind = NeighborOp::Kind::swap;
+            op.a = a;
+            op.b = b;
+            return op;
+        }
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto task = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+        const CoreId from = mapping.core_of(task);
+        if (require_all_cores && mapping.task_count_on(from) == 1)
+            continue; // would empty its core
+        auto target = static_cast<CoreId>(rng.uniform_int(0, cores - 2));
+        if (target >= from) ++target;
+        mapping.assign(task, target);
+        op.kind = NeighborOp::Kind::move;
+        op.a = task;
+        op.b = task;
+        op.from = from;
+        op.to = target;
+        return op;
+    }
+    return op;
+}
+
+EvalContext::EvalContext(const EvaluationContext& ctx, EvalOptions options)
+    : ctx_(ctx), options_(options) {
+    ctx_.arch.validate_scaling(ctx_.levels);
+    n_ = ctx_.graph.task_count();
+    cores_ = ctx_.arch.core_count();
+    batches_ = static_cast<double>(ctx_.graph.batch_count());
+
+    order_ = static_schedule_order(ctx_.graph);
+    pos_.resize(n_);
+    for (std::size_t p = 0; p < n_; ++p) pos_[order_[p]] = p;
+    // Earliest placement position a mutation of task t can influence:
+    // every predecessor of t is placed before t, and positions before
+    // the earliest predecessor see neither t's core (no edges into t
+    // originate there) nor any other changed core.
+    suffix_start_.resize(n_);
+    for (TaskId t = 0; t < n_; ++t) {
+        std::size_t s = pos_[t];
+        for (std::size_t idx : ctx_.graph.in_edge_indices(t))
+            s = std::min(s, pos_[ctx_.graph.edge(idx).src]);
+        suffix_start_[t] = s;
+    }
+
+    core_freq_.resize(cores_);
+    ser_rate_.resize(cores_);
+    active_power_mw_.resize(cores_);
+    for (std::size_t c = 0; c < cores_; ++c) {
+        core_freq_[c] = ctx_.arch.frequency_hz(ctx_.levels[c]);
+        ser_rate_[c] = ctx_.estimator.ser_model().ser_per_bit_second(
+            ctx_.arch.scaling_table().vdd(ctx_.levels[c]));
+        active_power_mw_[c] = ctx_.arch.power_model().core_active_power_mw(ctx_.levels[c]);
+    }
+
+    const std::size_t universe = ctx_.graph.register_file().size();
+    data_ready_.resize(n_);
+    core_free_.resize(cores_);
+    finish_.resize(n_);
+    busy_.resize(cores_);
+    busy_seconds_.resize(cores_);
+    utilization_.resize(cores_);
+    register_bits_.resize(cores_);
+    busy_delta_.resize(cores_);
+    union_scratch_.assign(cores_, RegisterSet(universe));
+    set_scratch_ = RegisterSet(universe);
+    key_scratch_.resize(n_);
+
+    base_finish_.resize(n_);
+    base_arrival_.resize(ctx_.graph.edge_count());
+    base_core_free_at_.resize(n_ * cores_);
+    base_busy_.resize(cores_);
+    base_bits_.resize(cores_);
+    base_union_.assign(cores_, RegisterSet(universe));
+    core_tasks_.resize(cores_);
+}
+
+void EvalContext::check_mapping(const Mapping& mapping) const {
+    if (mapping.task_count() != n_)
+        throw std::invalid_argument("EvalContext: mapping task count != graph task count");
+    if (mapping.core_count() != cores_)
+        throw std::invalid_argument("EvalContext: mapping core count != architecture");
+    if (!mapping.complete())
+        throw std::invalid_argument("EvalContext: mapping is incomplete");
+}
+
+// Identical arithmetic, in identical order, to ListScheduler::schedule
+// + per_core_busy_cycles + per_core_register_bits + SeuEstimator::
+// estimate + PowerModel::mpsoc_power_mw — the equivalence harness pins
+// this correspondence bit-for-bit.
+DesignMetrics EvalContext::evaluate_full(const Mapping& mapping, bool record) {
+    check_mapping(mapping);
+    const CoreId* core_of = mapping.raw().data();
+
+    std::fill(data_ready_.begin(), data_ready_.end(), 0.0);
+    std::fill(core_free_.begin(), core_free_.end(), 0.0);
+    for (std::size_t p = 0; p < n_; ++p) {
+        if (record)
+            std::copy(core_free_.begin(), core_free_.end(),
+                      base_core_free_at_.begin() +
+                          static_cast<std::ptrdiff_t>(p * cores_));
+        const TaskId t = order_[p];
+        const CoreId core = core_of[t];
+        const double start = std::max(core_free_[core], data_ready_[t]);
+        const double finish =
+            start + static_cast<double>(ctx_.graph.task(t).exec_cycles) / batches_ /
+                        core_freq_[core];
+        finish_[t] = finish;
+        double cursor = finish;
+        for (std::size_t idx : ctx_.graph.out_edge_indices(t)) {
+            const Edge& e = ctx_.graph.edge(idx);
+            const bool cross = core_of[e.dst] != core;
+            double arrival = finish;
+            if (cross) {
+                cursor += static_cast<double>(e.comm_cycles) / batches_ / core_freq_[core];
+                arrival = cursor;
+            }
+            if (record) base_arrival_[idx] = arrival;
+            data_ready_[e.dst] = std::max(data_ready_[e.dst], arrival);
+        }
+        core_free_[core] = cursor;
+    }
+
+    double latency = 0.0;
+    for (TaskId t = 0; t < n_; ++t) latency = std::max(latency, finish_[t]);
+
+    // Whole-run busy cycles, eq. (7) attribution (integer, exact).
+    std::fill(busy_.begin(), busy_.end(), std::uint64_t{0});
+    for (TaskId t = 0; t < n_; ++t) {
+        const CoreId core = core_of[t];
+        busy_[core] += ctx_.graph.task(t).exec_cycles;
+        for (std::size_t idx : ctx_.graph.out_edge_indices(t)) {
+            const Edge& e = ctx_.graph.edge(idx);
+            if (core_of[e.dst] != core) busy_[core] += e.comm_cycles;
+        }
+    }
+
+    // Per-core register unions, eq. (8).
+    for (std::size_t c = 0; c < cores_; ++c) union_scratch_[c].clear();
+    for (TaskId t = 0; t < n_; ++t) union_scratch_[core_of[t]] |= ctx_.graph.task(t).registers;
+    for (std::size_t c = 0; c < cores_; ++c)
+        register_bits_[c] = union_scratch_[c].bits_in(ctx_.graph.register_file());
+
+    if (record) {
+        std::copy(finish_.begin(), finish_.end(), base_finish_.begin());
+        std::copy(busy_.begin(), busy_.end(), base_busy_.begin());
+        std::copy(register_bits_.begin(), register_bits_.end(), base_bits_.begin());
+        for (std::size_t c = 0; c < cores_; ++c) base_union_[c] = union_scratch_[c];
+        for (std::size_t c = 0; c < cores_; ++c) core_tasks_[c].clear();
+        for (TaskId t = 0; t < n_; ++t) core_tasks_[core_of[t]].push_back(t);
+    }
+    return finish_metrics(latency);
+}
+
+DesignMetrics EvalContext::finish_metrics(double latency) {
+    DesignMetrics metrics;
+    metrics.latency_seconds = latency;
+    double ii = 0.0;
+    for (std::size_t c = 0; c < cores_; ++c) {
+        busy_seconds_[c] = static_cast<double>(busy_[c]) / core_freq_[c];
+        ii = std::max(ii, busy_seconds_[c] / batches_);
+    }
+    metrics.tm_seconds = latency + (batches_ - 1.0) * ii;
+    for (std::size_t c = 0; c < cores_; ++c) {
+        utilization_[c] = metrics.tm_seconds > 0.0
+                              ? std::min(1.0, busy_seconds_[c] / metrics.tm_seconds)
+                              : 0.0;
+    }
+    std::uint64_t total_bits = 0;
+    for (std::size_t c = 0; c < cores_; ++c) total_bits += register_bits_[c];
+    metrics.register_bits = total_bits;
+
+    double gamma = 0.0;
+    const bool full_duration = ctx_.estimator.policy() == ExposurePolicy::full_duration;
+    for (std::size_t c = 0; c < cores_; ++c) {
+        if (register_bits_[c] == 0) continue; // no live state on this core
+        const double exposure = full_duration ? metrics.tm_seconds : busy_seconds_[c];
+        gamma += static_cast<double>(register_bits_[c]) * exposure * ser_rate_[c];
+    }
+    metrics.gamma = gamma;
+    metrics.power_mw =
+        ctx_.arch.power_model().mpsoc_power_mw_precomputed(active_power_mw_, utilization_);
+    metrics.feasible = metrics.tm_seconds <= ctx_.deadline_seconds * (1.0 + 1e-9);
+    return metrics;
+}
+
+DesignMetrics EvalContext::evaluate(const Mapping& mapping) {
+    if (options_.naive_reference) return evaluate_design(ctx_, mapping);
+    ++stats_.full_evals;
+    return evaluate_full(mapping, false);
+}
+
+DesignMetrics EvalContext::evaluate_memoized(const Mapping& mapping) {
+    if (options_.naive_reference) return evaluate_design(ctx_, mapping);
+    if (!options_.memoize) return evaluate(mapping);
+    check_mapping(mapping);
+    const CoreId* key = mapping.raw().data();
+    const std::uint64_t hash = hash_key(key);
+    if (const DesignMetrics* hit = memo_find(hash, key)) {
+        ++stats_.memo_hits;
+        return *hit;
+    }
+    ++stats_.full_evals;
+    const DesignMetrics metrics = evaluate_full(mapping, false);
+    memo_insert(hash, key, metrics);
+    return metrics;
+}
+
+DesignMetrics EvalContext::rebase(const Mapping& base) {
+    base_ = base;
+    if (options_.naive_reference) {
+        base_metrics_ = evaluate_design(ctx_, base_);
+        has_base_ = true;
+        return base_metrics_;
+    }
+    ++stats_.full_evals;
+    base_metrics_ = evaluate_full(base_, true);
+    has_base_ = true;
+    if (options_.memoize) {
+        const CoreId* key = base_.raw().data();
+        const std::uint64_t hash = hash_key(key);
+        if (memo_find(hash, key) == nullptr) memo_insert(hash, key, base_metrics_);
+    }
+    return base_metrics_;
+}
+
+DesignMetrics EvalContext::evaluate_move(TaskId task, CoreId to) {
+    if (!has_base_) throw std::logic_error("EvalContext::evaluate_move: call rebase() first");
+    if (task >= n_) throw std::invalid_argument("EvalContext::evaluate_move: bad task id");
+    if (to >= cores_) throw std::invalid_argument("EvalContext::evaluate_move: bad core id");
+    const CoreId from = base_.raw()[task];
+    if (to == from) return base_metrics_;
+    if (options_.naive_reference || !options_.incremental) {
+        mapping_scratch_ = base_;
+        mapping_scratch_.assign(task, to);
+        if (options_.naive_reference) return evaluate_design(ctx_, mapping_scratch_);
+        return evaluate_memoized(mapping_scratch_);
+    }
+    std::uint64_t hash = 0;
+    if (options_.memoize) {
+        std::copy(base_.raw().begin(), base_.raw().end(), key_scratch_.begin());
+        key_scratch_[task] = to;
+        hash = hash_key(key_scratch_.data());
+        if (const DesignMetrics* hit = memo_find(hash, key_scratch_.data())) {
+            ++stats_.memo_hits;
+            return *hit;
+        }
+    }
+    const Override ov{task, to, task, to};
+    const DesignMetrics metrics = evaluate_override(ov, suffix_start_[task]);
+    if (options_.memoize) memo_insert(hash, key_scratch_.data(), metrics);
+    return metrics;
+}
+
+DesignMetrics EvalContext::evaluate_swap(TaskId a, TaskId b) {
+    if (!has_base_) throw std::logic_error("EvalContext::evaluate_swap: call rebase() first");
+    if (a >= n_ || b >= n_)
+        throw std::invalid_argument("EvalContext::evaluate_swap: bad task id");
+    const CoreId core_a = base_.raw()[a];
+    const CoreId core_b = base_.raw()[b];
+    if (a == b || core_a == core_b) return base_metrics_;
+    if (options_.naive_reference || !options_.incremental) {
+        mapping_scratch_ = base_;
+        mapping_scratch_.assign(a, core_b);
+        mapping_scratch_.assign(b, core_a);
+        if (options_.naive_reference) return evaluate_design(ctx_, mapping_scratch_);
+        return evaluate_memoized(mapping_scratch_);
+    }
+    std::uint64_t hash = 0;
+    if (options_.memoize) {
+        std::copy(base_.raw().begin(), base_.raw().end(), key_scratch_.begin());
+        key_scratch_[a] = core_b;
+        key_scratch_[b] = core_a;
+        hash = hash_key(key_scratch_.data());
+        if (const DesignMetrics* hit = memo_find(hash, key_scratch_.data())) {
+            ++stats_.memo_hits;
+            return *hit;
+        }
+    }
+    const Override ov{a, core_b, b, core_a};
+    const DesignMetrics metrics =
+        evaluate_override(ov, std::min(suffix_start_[a], suffix_start_[b]));
+    if (options_.memoize) memo_insert(hash, key_scratch_.data(), metrics);
+    return metrics;
+}
+
+DesignMetrics EvalContext::evaluate_neighbor(const NeighborOp& op) {
+    switch (op.kind) {
+    case NeighborOp::Kind::none:
+        if (!has_base_)
+            throw std::logic_error("EvalContext::evaluate_neighbor: call rebase() first");
+        return base_metrics_;
+    case NeighborOp::Kind::move:
+        return evaluate_move(op.a, op.to);
+    case NeighborOp::Kind::swap:
+        return evaluate_swap(op.a, op.b);
+    }
+    throw std::logic_error("EvalContext::evaluate_neighbor: bad op kind");
+}
+
+DesignMetrics EvalContext::evaluate_override(const Override& ov, std::size_t suffix_pos) {
+    ++stats_.incremental_evals;
+    const CoreId* base_raw = base_.raw().data();
+
+    // Restore the timeline state as of `suffix_pos` (every placement
+    // before it is provably identical under the override) and replay
+    // only the suffix with the candidate core lookup.
+    std::copy_n(base_core_free_at_.begin() +
+                    static_cast<std::ptrdiff_t>(suffix_pos * cores_),
+                cores_, core_free_.begin());
+    for (std::size_t q = suffix_pos; q < n_; ++q) {
+        const TaskId w = order_[q];
+        double ready = 0.0;
+        for (std::size_t idx : ctx_.graph.in_edge_indices(w)) {
+            if (pos_[ctx_.graph.edge(idx).src] < suffix_pos)
+                ready = std::max(ready, base_arrival_[idx]);
+        }
+        data_ready_[w] = ready;
+    }
+    for (std::size_t q = suffix_pos; q < n_; ++q) {
+        const TaskId w = order_[q];
+        const CoreId core = ov.core_of(base_raw, w);
+        const double start = std::max(core_free_[core], data_ready_[w]);
+        const double finish =
+            start + static_cast<double>(ctx_.graph.task(w).exec_cycles) / batches_ /
+                        core_freq_[core];
+        finish_[w] = finish;
+        double cursor = finish;
+        for (std::size_t idx : ctx_.graph.out_edge_indices(w)) {
+            const Edge& e = ctx_.graph.edge(idx);
+            const bool cross = ov.core_of(base_raw, e.dst) != core;
+            double arrival = finish;
+            if (cross) {
+                cursor += static_cast<double>(e.comm_cycles) / batches_ / core_freq_[core];
+                arrival = cursor;
+            }
+            data_ready_[e.dst] = std::max(data_ready_[e.dst], arrival);
+        }
+        core_free_[core] = cursor;
+    }
+    double latency = 0.0;
+    for (TaskId t = 0; t < n_; ++t)
+        latency = std::max(latency, pos_[t] < suffix_pos ? base_finish_[t] : finish_[t]);
+
+    // Busy cycles: integer delta over the touched tasks and their
+    // incident edges (exactly equal to a full eq. 7 recompute).
+    std::fill(busy_delta_.begin(), busy_delta_.end(), std::int64_t{0});
+    const bool two_tasks = ov.b != ov.a;
+    auto apply_exec_delta = [&](TaskId t, CoreId cand_core) {
+        const auto exec = static_cast<std::int64_t>(ctx_.graph.task(t).exec_cycles);
+        busy_delta_[base_raw[t]] -= exec;
+        busy_delta_[cand_core] += exec;
+    };
+    apply_exec_delta(ov.a, ov.core_a);
+    if (two_tasks) apply_exec_delta(ov.b, ov.core_b);
+    auto apply_edge_delta = [&](std::size_t idx) {
+        const Edge& e = ctx_.graph.edge(idx);
+        const auto comm = static_cast<std::int64_t>(e.comm_cycles);
+        if (base_raw[e.src] != base_raw[e.dst]) busy_delta_[base_raw[e.src]] -= comm;
+        const CoreId cand_src = ov.core_of(base_raw, e.src);
+        if (cand_src != ov.core_of(base_raw, e.dst)) busy_delta_[cand_src] += comm;
+    };
+    for (std::size_t idx : ctx_.graph.out_edge_indices(ov.a)) apply_edge_delta(idx);
+    for (std::size_t idx : ctx_.graph.in_edge_indices(ov.a)) apply_edge_delta(idx);
+    if (two_tasks) {
+        // Skip edges already handled through task a.
+        for (std::size_t idx : ctx_.graph.out_edge_indices(ov.b))
+            if (ctx_.graph.edge(idx).dst != ov.a) apply_edge_delta(idx);
+        for (std::size_t idx : ctx_.graph.in_edge_indices(ov.b))
+            if (ctx_.graph.edge(idx).src != ov.a) apply_edge_delta(idx);
+    }
+    for (std::size_t c = 0; c < cores_; ++c)
+        busy_[c] = static_cast<std::uint64_t>(static_cast<std::int64_t>(base_busy_[c]) +
+                                              busy_delta_[c]);
+
+    // Register unions: only the cores whose task sets changed. Unions
+    // are set algebra, so recomputing the two touched cores from their
+    // base task lists gives exactly the full eq. 8 result.
+    std::copy(base_bits_.begin(), base_bits_.end(), register_bits_.begin());
+    auto recompute_core_bits = [&](CoreId c) {
+        set_scratch_.clear();
+        for (TaskId t : core_tasks_[c])
+            if (ov.core_of(base_raw, t) == c) set_scratch_ |= ctx_.graph.task(t).registers;
+        if (ov.core_a == c && base_raw[ov.a] != c)
+            set_scratch_ |= ctx_.graph.task(ov.a).registers;
+        if (two_tasks && ov.core_b == c && base_raw[ov.b] != c)
+            set_scratch_ |= ctx_.graph.task(ov.b).registers;
+        register_bits_[c] = set_scratch_.bits_in(ctx_.graph.register_file());
+    };
+    recompute_core_bits(base_raw[ov.a]);
+    recompute_core_bits(ov.core_a);
+    if (two_tasks) {
+        if (base_raw[ov.b] != base_raw[ov.a] && base_raw[ov.b] != ov.core_a)
+            recompute_core_bits(base_raw[ov.b]);
+        if (ov.core_b != base_raw[ov.a] && ov.core_b != ov.core_a)
+            recompute_core_bits(ov.core_b);
+    }
+
+    return finish_metrics(latency);
+}
+
+std::uint64_t EvalContext::hash_key(const CoreId* key) const {
+    std::uint64_t hash = 0x9e3779b97f4a7c15ULL ^ n_;
+    for (std::size_t i = 0; i < n_; ++i) hash = splitmix64(hash ^ key[i]);
+    return hash;
+}
+
+const DesignMetrics* EvalContext::memo_find(std::uint64_t hash, const CoreId* key) const {
+    if (memo_slots_.empty()) return nullptr;
+    const std::size_t mask = memo_slots_.size() - 1;
+    for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+        const std::uint32_t slot = memo_slots_[i];
+        if (slot == 0) return nullptr;
+        const MemoEntry& entry = memo_entries_[slot - 1];
+        if (entry.hash == hash &&
+            std::equal(key, key + n_, memo_keys_.data() + entry.key_offset))
+            return &entry.metrics;
+    }
+}
+
+void EvalContext::memo_insert(std::uint64_t hash, const CoreId* key,
+                              const DesignMetrics& metrics) {
+    if (memo_entries_.size() >= options_.memo_capacity) return;
+    if (memo_slots_.empty()) memo_slots_.assign(2048, 0);
+    // Keep the open-addressing load factor below 0.7.
+    if ((memo_entries_.size() + 1) * 10 >= memo_slots_.size() * 7) {
+        std::vector<std::uint32_t> bigger(memo_slots_.size() * 2, 0);
+        const std::size_t mask = bigger.size() - 1;
+        for (std::size_t e = 0; e < memo_entries_.size(); ++e) {
+            std::size_t i = memo_entries_[e].hash & mask;
+            while (bigger[i] != 0) i = (i + 1) & mask;
+            bigger[i] = static_cast<std::uint32_t>(e + 1);
+        }
+        memo_slots_ = std::move(bigger);
+    }
+    const std::size_t offset = memo_keys_.size();
+    memo_keys_.insert(memo_keys_.end(), key, key + n_);
+    memo_entries_.push_back(MemoEntry{hash, offset, metrics});
+    const std::size_t mask = memo_slots_.size() - 1;
+    std::size_t i = hash & mask;
+    while (memo_slots_[i] != 0) i = (i + 1) & mask;
+    memo_slots_[i] = static_cast<std::uint32_t>(memo_entries_.size());
+    stats_.memo_entries = memo_entries_.size();
+}
+
+} // namespace seamap

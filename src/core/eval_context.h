@@ -1,0 +1,232 @@
+// Zero-allocation per-candidate evaluation hot path. The Fig. 4 flow
+// evaluates thousands of (mapping, scaling) candidates per exploration;
+// reliability/design_eval.h scores each one from scratch — a fresh list
+// schedule (priority selection + ~10 heap allocations), fresh register
+// unions and fresh SEU/power sums per call. EvalContext is the reusable
+// per-scaling evaluation engine both search strategies run on instead:
+//
+//  - Precomputation: the list scheduler's placement sequence is a pure
+//    function of the graph (sched/list_scheduler.h,
+//    static_schedule_order), so the order, b-level selection, core
+//    frequencies, per-core SER rates and active powers are computed
+//    once per scaling; per candidate only the timing arithmetic runs.
+//  - Scratch reuse: ready lists, per-PE timelines, data-ready arrays,
+//    busy/utilization accumulators and register-union bitsets live in
+//    the context and are reused across candidates — the steady-state
+//    evaluation loop performs no heap allocation.
+//  - Incremental re-evaluation: for the move/swap neighbourhood steps
+//    of the Fig. 7 search and the SA baseline, only the schedule
+//    suffix from the first affected placement position is replayed
+//    (positions before the earliest predecessor of a moved task are
+//    provably unchanged), and only the affected cores' register unions
+//    and busy cycles are recomputed.
+//  - Memoization: a per-scaling memo table keyed by the full mapping
+//    (open addressing, flat key arena) returns previously computed
+//    metrics for revisited candidates, so a random walk that undoes a
+//    move never pays for the same design twice.
+//
+// Determinism contract: every path (full, incremental, memoized)
+// reproduces evaluate_design() BIT-IDENTICALLY — the same floating-
+// point operations in the same order. The naive_reference option turns
+// the context into a thin wrapper over evaluate_design() so the
+// equivalence harness (tests/core/eval_context_equivalence_test.cpp)
+// and the before/after benches drive both paths through identical
+// search code.
+//
+// An EvalContext is single-threaded state: the explorer builds one per
+// scaling combination inside each worker, so contexts are never shared
+// across threads.
+#pragma once
+
+#include "reliability/design_eval.h"
+#include "sched/mapping.h"
+#include "util/rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace seamap {
+
+/// Evaluation-path knobs. Defaults give the full fast path; the
+/// reference flag pins the optimization to the naive implementation.
+struct EvalOptions {
+    /// Per-scaling memo table over complete mappings.
+    bool memoize = true;
+    /// Suffix-only rescheduling for move/swap neighbours.
+    bool incremental = true;
+    /// Memo entry cap; inserts stop beyond it (lookups keep working).
+    std::size_t memo_capacity = 1u << 20;
+    /// Route every evaluation through evaluate_design() instead of the
+    /// optimized path (no scratch reuse, no memo, no incremental).
+    /// This is the pre-optimization reference the equivalence tests
+    /// and benches compare against.
+    bool naive_reference = false;
+};
+
+/// One neighbourhood mutation, reported by random_neighbor_op so the
+/// caller can ask EvalContext for an incremental re-evaluation.
+struct NeighborOp {
+    enum class Kind : unsigned char {
+        none, ///< no admissible mutation found; mapping unchanged
+        move, ///< task `a` moved from core `from` to core `to`
+        swap, ///< tasks `a` and `b` (on different cores) exchanged cores
+    };
+    Kind kind = Kind::none;
+    TaskId a = 0;
+    TaskId b = 0;
+    CoreId from = 0;
+    CoreId to = 0;
+};
+
+/// The shared move/swap neighbourhood of both search engines: with
+/// probability `swap_probability` exchange two tasks on different
+/// cores, otherwise move one task to another core (rejecting moves that
+/// would empty a populated core when `require_all_cores`). Mutates
+/// `mapping` in place and reports what changed. The RNG draw sequence
+/// is the contract: both engines' walks are reproducible bit-for-bit
+/// from the seed, so this function consumes draws exactly like the
+/// historical per-engine copies it replaces.
+NeighborOp random_neighbor_op(Mapping& mapping, Rng& rng, double swap_probability,
+                              bool require_all_cores);
+
+/// Reusable per-scaling evaluation engine. See file comment.
+class EvalContext {
+public:
+    /// `ctx` must outlive the EvalContext. Validates the scaling vector
+    /// eagerly and precomputes the schedule order.
+    explicit EvalContext(const EvaluationContext& ctx, EvalOptions options = {});
+
+    EvalContext(const EvalContext&) = delete;
+    EvalContext& operator=(const EvalContext&) = delete;
+
+    /// The problem this context evaluates against.
+    const EvaluationContext& problem() const { return ctx_; }
+    const EvalOptions& options() const { return options_; }
+
+    /// Full evaluation of a complete mapping; bit-identical to
+    /// evaluate_design(problem(), mapping). Allocation-free after the
+    /// first call. Throws std::invalid_argument on size mismatches or
+    /// incomplete mappings.
+    DesignMetrics evaluate(const Mapping& mapping);
+
+    /// evaluate() behind the memo table: a revisited mapping returns
+    /// its cached metrics without re-scheduling.
+    DesignMetrics evaluate_memoized(const Mapping& mapping);
+
+    /// Establish `base` as the incremental-evaluation anchor (the
+    /// search's current mapping) and return its metrics. Records the
+    /// per-position timeline state evaluate_move/evaluate_swap restart
+    /// from. Always a full recorded pass; a known future optimization
+    /// is committing the just-replayed suffix of an accepted neighbour
+    /// instead, which would help high-acceptance (hot) walk phases.
+    DesignMetrics rebase(const Mapping& base);
+
+    /// True once rebase() has run.
+    bool has_base() const { return has_base_; }
+    const Mapping& base() const { return base_; }
+    const DesignMetrics& base_metrics() const { return base_metrics_; }
+
+    /// Metrics of base() with `task` moved to core `to` (base itself is
+    /// left untouched). Memoized, then suffix-rescheduled: only
+    /// placement positions from the earliest predecessor of `task`
+    /// onward are replayed, and only the two affected cores' register
+    /// unions and busy cycles are recomputed. Requires a prior
+    /// rebase().
+    DesignMetrics evaluate_move(TaskId task, CoreId to);
+
+    /// Metrics of base() with tasks `a` and `b` exchanging cores.
+    DesignMetrics evaluate_swap(TaskId a, TaskId b);
+
+    /// Dispatch on a NeighborOp produced against base(). Kind::none
+    /// returns base_metrics().
+    DesignMetrics evaluate_neighbor(const NeighborOp& op);
+
+    /// Instrumentation for benches and tests.
+    struct Stats {
+        std::uint64_t full_evals = 0;        ///< complete timing passes (incl. rebase)
+        std::uint64_t incremental_evals = 0; ///< suffix-only replays
+        std::uint64_t memo_hits = 0;
+        std::uint64_t memo_entries = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    /// A candidate relative to the base: up to two tasks on new cores.
+    /// For a move both slots describe the same task.
+    struct Override {
+        TaskId a;
+        CoreId core_a;
+        TaskId b;
+        CoreId core_b;
+
+        CoreId core_of(const CoreId* base_raw, TaskId w) const {
+            if (w == a) return core_a;
+            if (w == b) return core_b;
+            return base_raw[w];
+        }
+    };
+
+    DesignMetrics evaluate_full(const Mapping& mapping, bool record);
+    DesignMetrics evaluate_override(const Override& ov, std::size_t suffix_pos);
+    DesignMetrics finish_metrics(double latency);
+    void check_mapping(const Mapping& mapping) const;
+
+    // Memo table: open addressing over a flat key arena.
+    std::uint64_t hash_key(const CoreId* key) const;
+    const DesignMetrics* memo_find(std::uint64_t hash, const CoreId* key) const;
+    void memo_insert(std::uint64_t hash, const CoreId* key, const DesignMetrics& metrics);
+
+    const EvaluationContext& ctx_;
+    EvalOptions options_;
+    std::size_t n_ = 0;
+    std::size_t cores_ = 0;
+    double batches_ = 1.0;
+
+    // Per-scaling precomputation.
+    std::vector<TaskId> order_;          ///< static schedule order
+    std::vector<std::size_t> pos_;       ///< task -> position in order_
+    std::vector<std::size_t> suffix_start_; ///< task -> earliest affected position
+    std::vector<double> core_freq_;
+    std::vector<double> ser_rate_;       ///< SER per bit-second at each core's Vdd
+    std::vector<double> active_power_mw_;
+
+    // Scratch reused by every evaluation (no steady-state allocation).
+    std::vector<double> data_ready_;
+    std::vector<double> core_free_;
+    std::vector<double> finish_;
+    std::vector<std::uint64_t> busy_;
+    std::vector<double> busy_seconds_;
+    std::vector<double> utilization_;
+    std::vector<std::uint64_t> register_bits_;
+    std::vector<std::int64_t> busy_delta_;
+    std::vector<RegisterSet> union_scratch_;
+    RegisterSet set_scratch_;
+    std::vector<CoreId> key_scratch_;
+    Mapping mapping_scratch_; ///< naive_reference candidate materialization
+
+    // Incremental base state (valid while has_base_).
+    bool has_base_ = false;
+    Mapping base_;
+    DesignMetrics base_metrics_;
+    std::vector<double> base_finish_;
+    std::vector<double> base_arrival_;      ///< per edge: data-arrival instant
+    std::vector<double> base_core_free_at_; ///< position-major [pos * cores + core]
+    std::vector<std::uint64_t> base_busy_;
+    std::vector<std::uint64_t> base_bits_;
+    std::vector<RegisterSet> base_union_;
+    std::vector<std::vector<TaskId>> core_tasks_;
+
+    // Memo storage.
+    struct MemoEntry {
+        std::uint64_t hash = 0;
+        std::size_t key_offset = 0;
+        DesignMetrics metrics;
+    };
+    std::vector<MemoEntry> memo_entries_;
+    std::vector<std::uint32_t> memo_slots_; ///< entry index + 1; 0 = empty
+    std::vector<CoreId> memo_keys_;
+
+    Stats stats_;
+};
+
+} // namespace seamap

@@ -5,41 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace seamap {
-
-namespace {
-
-void random_task_movement(Mapping& mapping, Rng& rng, double swap_probability,
-                          bool require_all_cores) {
-    const auto tasks = static_cast<std::int64_t>(mapping.task_count());
-    const auto cores = static_cast<std::int64_t>(mapping.core_count());
-    if (cores < 2 || tasks < 1) return;
-    if (tasks >= 2 && rng.uniform() < swap_probability) {
-        // Swaps never change per-core populations, so they are always
-        // admissible under require_all_cores.
-        for (int attempt = 0; attempt < 8; ++attempt) {
-            const auto a = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
-            const auto b = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
-            if (a == b || mapping.core_of(a) == mapping.core_of(b)) continue;
-            const CoreId core_a = mapping.core_of(a);
-            mapping.assign(a, mapping.core_of(b));
-            mapping.assign(b, core_a);
-            return;
-        }
-    }
-    for (int attempt = 0; attempt < 8; ++attempt) {
-        const auto task = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
-        if (require_all_cores && mapping.task_count_on(mapping.core_of(task)) == 1)
-            continue; // would empty its core
-        auto target = static_cast<CoreId>(rng.uniform_int(0, cores - 2));
-        if (target >= mapping.core_of(task)) ++target;
-        mapping.assign(task, target);
-        return;
-    }
-}
-
-} // namespace
 
 OptimizedMapping::OptimizedMapping(LocalSearchParams params) : params_(params) {
     if (params_.max_iterations == 0 && params_.time_budget_seconds <= 0.0)
@@ -54,15 +22,22 @@ OptimizedMapping::OptimizedMapping(LocalSearchParams params) : params_(params) {
 LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
                                              const Mapping& initial,
                                              const CancellationToken* cancel) const {
+    EvalContext eval(ctx);
+    return optimize(eval, initial, cancel);
+}
+
+LocalSearchResult OptimizedMapping::optimize(EvalContext& eval, const Mapping& initial,
+                                             const CancellationToken* cancel) const {
     if (!initial.complete())
         throw std::invalid_argument("OptimizedMapping: initial mapping incomplete");
+    const EvaluationContext& ctx = eval.problem();
 
     const SearchBudget budget(params_.max_iterations, params_.time_budget_seconds, cancel);
     auto stopped = [&] { return cancel != nullptr && cancel->stop_requested(); };
 
     Rng rng(params_.seed);
-    Mapping current = initial;                                     // step A
-    DesignMetrics current_metrics = evaluate_design(ctx, current); // list schedule M
+    Mapping current = initial;                           // step A
+    DesignMetrics current_metrics = eval.rebase(current); // list schedule M
 
     LocalSearchResult result;
     result.best_mapping = current;
@@ -72,18 +47,21 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
 
     // Steps E-F: a feasible design with fewer expected SEUs becomes the
     // new best; until anything is feasible, track the least-infeasible.
-    auto consider_best = [&](const Mapping& mapping, const DesignMetrics& metrics) {
+    // `make_mapping` materializes the candidate only when it is
+    // actually retained — neighbourhood candidates are otherwise
+    // evaluated incrementally without building a Mapping.
+    auto consider_best = [&](const DesignMetrics& metrics, auto&& make_mapping) {
         const bool improves = metrics.feasible &&
                               (!result.found_feasible ||
                                metrics.gamma < result.best_metrics.gamma);
         if (improves) {
-            result.best_mapping = mapping;
+            result.best_mapping = make_mapping();
             result.best_metrics = metrics;
             result.found_feasible = true;
             ++result.improvements;
         } else if (!result.found_feasible &&
                    metrics.tm_seconds < result.best_metrics.tm_seconds) {
-            result.best_mapping = mapping;
+            result.best_mapping = make_mapping();
             result.best_metrics = metrics;
         }
     };
@@ -94,10 +72,14 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
         return candidate.feasible && candidate.gamma < reference.gamma;
     };
     // The paper's systematic pass: try every single-task move from the
-    // current mapping and return the best strict improvement.
+    // current mapping and take the best strict improvement. Each
+    // candidate is a single move off the rebased current mapping, so it
+    // is exactly the suffix-reschedule case.
+    Mapping scratch_mapping;
     auto sweep = [&]() {
-        Mapping best_neighbor = current;
         DesignMetrics best_metrics = current_metrics;
+        TaskId best_task = 0;
+        CoreId best_core = 0;
         bool found = false;
         for (TaskId t = 0; t < ctx.graph.task_count() && !stopped(); ++t) {
             const CoreId original = current.core_of(t);
@@ -105,21 +87,25 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
                 continue; // moving t would empty its core
             for (CoreId core = 0; core < ctx.arch.core_count() && !stopped(); ++core) {
                 if (core == original) continue;
-                Mapping candidate = current;
-                candidate.assign(t, core);
-                const DesignMetrics metrics = evaluate_design(ctx, candidate);
+                const DesignMetrics metrics = eval.evaluate_move(t, core);
                 ++result.evaluations;
-                consider_best(candidate, metrics);
+                consider_best(metrics, [&]() -> const Mapping& {
+                    scratch_mapping = current;
+                    scratch_mapping.assign(t, core);
+                    return scratch_mapping;
+                });
                 if (walk_improves(metrics, best_metrics)) {
-                    best_neighbor = std::move(candidate);
+                    best_task = t;
+                    best_core = core;
                     best_metrics = metrics;
                     found = true;
                 }
             }
         }
         if (found) {
-            current = std::move(best_neighbor);
+            current.assign(best_task, best_core);
             current_metrics = best_metrics;
+            eval.rebase(current);
         }
     };
 
@@ -134,13 +120,14 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
         current = initial;
         const auto kicks = std::max<std::size_t>(2, ctx.graph.task_count() / 2);
         for (std::size_t k = 0; k < kicks; ++k)
-            random_task_movement(current, rng, params_.swap_probability,
-                                 params_.require_all_cores);
-        current_metrics = evaluate_design(ctx, current);
+            random_neighbor_op(current, rng, params_.swap_probability,
+                               params_.require_all_cores);
+        current_metrics = eval.rebase(current);
         ++result.evaluations;
-        consider_best(current, current_metrics);
+        consider_best(current_metrics, [&]() -> const Mapping& { return current; });
     };
 
+    Mapping neighbor;
     std::uint64_t iteration = 0;
     while (!budget.exhausted(iteration)) { // step B
         ++iteration;
@@ -153,13 +140,13 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
             sweep();
             continue;
         }
-        Mapping neighbor = current; // step C: neighbouring task movement
-        random_task_movement(neighbor, rng, params_.swap_probability,
-                             params_.require_all_cores);
-        if (neighbor == current) continue;
-        const DesignMetrics metrics = evaluate_design(ctx, neighbor); // step D
+        neighbor = current; // step C: neighbouring task movement
+        const NeighborOp op = random_neighbor_op(neighbor, rng, params_.swap_probability,
+                                                 params_.require_all_cores);
+        if (op.kind == NeighborOp::Kind::none) continue; // mapping unchanged
+        const DesignMetrics metrics = eval.evaluate_neighbor(op); // step D
         ++result.evaluations;
-        consider_best(neighbor, metrics);
+        consider_best(metrics, [&]() -> const Mapping& { return neighbor; });
 
         // Walk policy: move toward feasibility first, then toward lower
         // Gamma, with annealed acceptance of worse steps. The cooling
@@ -187,8 +174,9 @@ LocalSearchResult OptimizedMapping::optimize(const EvaluationContext& ctx,
             step = rng.uniform() < std::exp(-relative_worsening / temperature);
         }
         if (step) {
-            current = std::move(neighbor);
+            std::swap(current, neighbor); // keeps neighbor's storage alive for reuse
             current_metrics = metrics;
+            eval.rebase(current);
         }
     }
     result.iterations_run = iteration;

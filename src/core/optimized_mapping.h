@@ -10,6 +10,7 @@
 // convergence.
 #pragma once
 
+#include "core/eval_context.h"
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
 #include "util/cancellation.h"
@@ -72,8 +73,18 @@ public:
     /// feasibility (smallest T_M). An optional `cancel` token caps the
     /// walk on top of the iteration/time budgets — it is checked inside
     /// the loop, so a search never overshoots a stop request or token
-    /// deadline by more than one design evaluation.
+    /// deadline by more than one design evaluation. Builds a fresh
+    /// EvalContext internally (fast path, default EvalOptions).
     LocalSearchResult optimize(const EvaluationContext& ctx, const Mapping& initial,
+                               const CancellationToken* cancel = nullptr) const;
+
+    /// Search on a caller-provided evaluation context (the explorer
+    /// builds one per scaling combination; tests/benches select the
+    /// naive-reference path through it). The walk — RNG draws, step
+    /// acceptance, best tracking — is a pure function of
+    /// (ctx, initial, seed) regardless of the context's EvalOptions:
+    /// every evaluation path is bit-identical.
+    LocalSearchResult optimize(EvalContext& eval, const Mapping& initial,
                                const CancellationToken* cancel = nullptr) const;
 
 private:

@@ -36,6 +36,19 @@ public:
     virtual LocalSearchResult search(const EvaluationContext& ctx, const Mapping& initial,
                                      std::uint64_t seed,
                                      const CancellationToken* cancel = nullptr) const = 0;
+
+    /// Hot-path entry the explorer actually calls: the per-scaling
+    /// EvalContext (core/eval_context.h) carries preallocated scratch,
+    /// the memo table and the incremental scheduler for this worker.
+    /// The default forwards to the EvaluationContext overload, so
+    /// custom strategies that never heard of EvalContext keep working;
+    /// the built-ins override it to run their walks on `eval`
+    /// directly. The determinism contract is unchanged: for a given
+    /// (problem, initial, seed) the result must be bit-identical
+    /// whichever overload runs.
+    virtual LocalSearchResult search(EvalContext& eval, const Mapping& initial,
+                                     std::uint64_t seed,
+                                     const CancellationToken* cancel = nullptr) const;
 };
 
 /// The paper's Fig. 7 local search (proposed method). The `seed` field
@@ -49,6 +62,8 @@ public:
     std::string name() const override;
     LocalSearchResult search(const EvaluationContext& ctx, const Mapping& initial,
                              std::uint64_t seed,
+                             const CancellationToken* cancel = nullptr) const override;
+    LocalSearchResult search(EvalContext& eval, const Mapping& initial, std::uint64_t seed,
                              const CancellationToken* cancel = nullptr) const override;
 
 private:

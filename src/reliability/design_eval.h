@@ -3,6 +3,15 @@
 // T_M, register usage R, expected SEUs Gamma, and power P. Shared by
 // the proposed optimizer, the simulated-annealing baselines and the
 // experiment benches so that all of them score designs identically.
+//
+// evaluate_design() is the *reference* implementation: it builds a
+// fresh schedule and fresh accumulators per call. Search hot loops run
+// on core/eval_context.h instead — a reusable per-scaling engine with
+// preallocated scratch, incremental rescheduling and memoization that
+// is pinned bit-identical to this function by
+// tests/core/eval_context_equivalence_test.cpp. Change the arithmetic
+// here and the fast path must change in lockstep (the harness fails
+// loudly otherwise).
 #pragma once
 
 #include "arch/mpsoc.h"

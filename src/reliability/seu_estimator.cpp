@@ -13,21 +13,28 @@ double SeuEstimator::core_gamma(std::uint64_t register_bits, double exposure_sec
 SeuBreakdown SeuEstimator::estimate(const TaskGraph& graph, const Mapping& mapping,
                                     const MpsocArchitecture& arch, const ScalingVector& levels,
                                     const Schedule& schedule) const {
+    SeuBreakdown breakdown;
+    estimate_into(graph, mapping, arch, levels, schedule, breakdown);
+    return breakdown;
+}
+
+void SeuEstimator::estimate_into(const TaskGraph& graph, const Mapping& mapping,
+                                 const MpsocArchitecture& arch, const ScalingVector& levels,
+                                 const Schedule& schedule, SeuBreakdown& out) const {
     arch.validate_scaling(levels);
     const auto register_bits = per_core_register_bits(graph, mapping, arch.core_count());
 
-    SeuBreakdown breakdown;
-    breakdown.per_core.resize(arch.core_count(), 0.0);
+    out.per_core.assign(arch.core_count(), 0.0);
+    out.total = 0.0;
     for (std::size_t c = 0; c < arch.core_count(); ++c) {
         if (register_bits[c] == 0) continue; // no live state on this core
         const double exposure = policy_ == ExposurePolicy::full_duration
                                     ? schedule.total_time_seconds
                                     : schedule.core_busy_seconds[c];
         const double vdd = arch.scaling_table().vdd(levels[c]);
-        breakdown.per_core[c] = core_gamma(register_bits[c], exposure, vdd);
-        breakdown.total += breakdown.per_core[c];
+        out.per_core[c] = core_gamma(register_bits[c], exposure, vdd);
+        out.total += out.per_core[c];
     }
-    return breakdown;
 }
 
 } // namespace seamap

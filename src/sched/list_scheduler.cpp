@@ -37,6 +37,40 @@ void check_inputs(const TaskGraph& graph, const Mapping& mapping, const MpsocArc
 
 } // namespace
 
+// Deliberately duplicates schedule()'s selection loop rather than
+// being called by it: schedule() is the naive *reference* the
+// EvalContext equivalence harness pins the fast path against, so the
+// two must not share machinery. Changing the tie-break or ready-push
+// order in either copy fails tests/core/eval_context_equivalence_test.
+std::vector<TaskId> static_schedule_order(const TaskGraph& graph) {
+    const std::size_t n = graph.task_count();
+    const auto priority = b_levels(graph);
+    std::vector<std::size_t> unscheduled_preds(n, 0);
+    for (TaskId t = 0; t < n; ++t) unscheduled_preds[t] = graph.in_edge_indices(t).size();
+    std::vector<TaskId> ready;
+    for (TaskId t = 0; t < n; ++t)
+        if (unscheduled_preds[t] == 0) ready.push_back(t);
+
+    std::vector<TaskId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const auto best = std::min_element(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+            if (priority[a] != priority[b]) return priority[a] > priority[b];
+            return a < b;
+        });
+        const TaskId t = *best;
+        ready.erase(best);
+        order.push_back(t);
+        for (std::size_t idx : graph.out_edge_indices(t)) {
+            const Edge& e = graph.edge(idx);
+            if (--unscheduled_preds[e.dst] == 0) ready.push_back(e.dst);
+        }
+    }
+    if (order.size() != n)
+        throw std::logic_error("static_schedule_order: graph not fully ordered");
+    return order;
+}
+
 std::vector<std::uint64_t> per_core_busy_cycles(const TaskGraph& graph, const Mapping& mapping,
                                                 std::size_t core_count) {
     if (mapping.task_count() != graph.task_count())

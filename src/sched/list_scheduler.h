@@ -83,6 +83,15 @@ public:
                       const MpsocArchitecture& arch, const ScalingVector& levels) const;
 };
 
+/// The exact sequence in which ListScheduler::schedule places tasks.
+/// The scheduler picks, among dependency-ready tasks, the highest
+/// static b-level (ties by task id) — a strict total order on a set
+/// that evolves purely from the graph structure, so the sequence is a
+/// pure function of the graph: independent of the mapping and of the
+/// scaling levels. core/eval_context.h precomputes it once per scaling
+/// search and replays only timing arithmetic per candidate.
+std::vector<TaskId> static_schedule_order(const TaskGraph& graph);
+
 /// Whole-run busy cycles per core (eq. 7) without building a schedule;
 /// tolerates partial mappings (unassigned tasks contribute nothing).
 /// Cross-core edges whose consumer is still unmapped are charged to the

@@ -1,0 +1,237 @@
+// The equivalence harness pinning the EvalContext fast path to the
+// naive evaluate_design() path BIT-IDENTICALLY: full evaluation,
+// incremental move/swap re-evaluation and memoized lookups must all
+// produce exactly the doubles the naive path produces, across Fig. 8,
+// MPEG-2 and seeded random TGFF graphs x every scaling combination —
+// and whole searches / explorations driven through either path must
+// produce byte-identical results for all strategies and thread counts.
+#include "seamap/seamap.h"
+
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+#include "tgff/random_graph.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+struct Workload {
+    std::string label;
+    TaskGraph graph;
+    std::size_t cores;
+    double deadline_seconds;
+};
+
+std::vector<Workload> workloads() {
+    std::vector<Workload> out;
+    out.push_back({"fig8", fig8_example_graph(), 3, k_fig8_deadline_seconds});
+    out.push_back({"mpeg2", mpeg2_decoder_graph(), 4, mpeg2_deadline_seconds()});
+    TgffParams params;
+    params.task_count = 16;
+    out.push_back({"tgff16", generate_tgff_graph(params, 7), 3,
+                   paper_tgff_deadline_seconds(16)});
+    return out;
+}
+
+Mapping random_mapping(const TaskGraph& graph, std::size_t cores, Rng& rng) {
+    Mapping mapping(graph.task_count(), cores);
+    for (TaskId t = 0; t < graph.task_count(); ++t)
+        mapping.assign(t, static_cast<CoreId>(rng.uniform_int(
+                              0, static_cast<std::int64_t>(cores) - 1)));
+    return mapping;
+}
+
+void expect_bit_identical(const DesignMetrics& fast, const DesignMetrics& naive,
+                          const std::string& where) {
+    // EXPECT_EQ on doubles is exact comparison — that is the contract.
+    EXPECT_EQ(fast.tm_seconds, naive.tm_seconds) << where;
+    EXPECT_EQ(fast.latency_seconds, naive.latency_seconds) << where;
+    EXPECT_EQ(fast.register_bits, naive.register_bits) << where;
+    EXPECT_EQ(fast.gamma, naive.gamma) << where;
+    EXPECT_EQ(fast.power_mw, naive.power_mw) << where;
+    EXPECT_EQ(fast.feasible, naive.feasible) << where;
+}
+
+std::vector<ScalingVector> all_scalings(const MpsocArchitecture& arch) {
+    std::vector<ScalingVector> out;
+    ScalingEnumerator enumerator(arch.core_count(), arch.scaling_table().level_count());
+    while (auto levels = enumerator.next()) out.push_back(std::move(*levels));
+    return out;
+}
+
+TEST(EvalContextEquivalence, FullEvaluationMatchesNaiveAcrossAllScalings) {
+    for (const Workload& w : workloads()) {
+        const MpsocArchitecture arch(w.cores, VoltageScalingTable::arm7_three_level());
+        Rng rng(11);
+        for (const ScalingVector& levels : all_scalings(arch)) {
+            const EvaluationContext ctx{w.graph, arch, levels, SeuEstimator{SerModel{}},
+                                        w.deadline_seconds};
+            EvalContext eval(ctx);
+            std::vector<Mapping> mappings;
+            mappings.push_back(round_robin_mapping(w.graph, w.cores));
+            mappings.push_back(single_core_mapping(w.graph, w.cores));
+            for (int i = 0; i < 4; ++i) mappings.push_back(random_mapping(w.graph, w.cores, rng));
+            for (const Mapping& mapping : mappings) {
+                const DesignMetrics naive = evaluate_design(ctx, mapping);
+                expect_bit_identical(eval.evaluate(mapping), naive, w.label + " evaluate");
+                expect_bit_identical(eval.evaluate_memoized(mapping), naive,
+                                     w.label + " memoized miss/insert");
+                expect_bit_identical(eval.evaluate_memoized(mapping), naive,
+                                     w.label + " memoized hit");
+            }
+        }
+    }
+}
+
+TEST(EvalContextEquivalence, IncrementalMoveAndSwapMatchNaive) {
+    for (const Workload& w : workloads()) {
+        const MpsocArchitecture arch(w.cores, VoltageScalingTable::arm7_three_level());
+        Rng rng(23);
+        // All scalings for the small Fig. 8 graph; a deterministic
+        // sample for the larger ones keeps the test fast.
+        const auto scalings = all_scalings(arch);
+        std::size_t stride = w.label == "fig8" ? 1 : 5;
+        for (std::size_t s = 0; s < scalings.size(); s += stride) {
+            const EvaluationContext ctx{w.graph, arch, scalings[s], SeuEstimator{SerModel{}},
+                                        w.deadline_seconds};
+            EvalContext eval(ctx);
+            Mapping base = random_mapping(w.graph, w.cores, rng);
+            eval.rebase(base);
+            // Exhaustive single-task moves off the base.
+            for (TaskId t = 0; t < w.graph.task_count(); ++t) {
+                for (CoreId core = 0; core < w.cores; ++core) {
+                    if (core == base.core_of(t)) continue;
+                    Mapping moved = base;
+                    moved.assign(t, core);
+                    expect_bit_identical(eval.evaluate_move(t, core),
+                                         evaluate_design(ctx, moved),
+                                         w.label + " move");
+                }
+            }
+            // Random swaps, re-anchoring the base every few steps so
+            // rebase-after-acceptance is exercised too.
+            for (int i = 0; i < 24; ++i) {
+                const auto a = static_cast<TaskId>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(w.graph.task_count()) - 1));
+                const auto b = static_cast<TaskId>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(w.graph.task_count()) - 1));
+                if (a == b || base.core_of(a) == base.core_of(b)) continue;
+                Mapping swapped = base;
+                const CoreId core_a = base.core_of(a);
+                swapped.assign(a, base.core_of(b));
+                swapped.assign(b, core_a);
+                expect_bit_identical(eval.evaluate_swap(a, b),
+                                     evaluate_design(ctx, swapped), w.label + " swap");
+                if (i % 5 == 4) {
+                    base = swapped;
+                    expect_bit_identical(eval.rebase(base), evaluate_design(ctx, base),
+                                         w.label + " rebase");
+                }
+            }
+        }
+    }
+}
+
+TEST(EvalContextEquivalence, MemoHitsAreServedWithoutReevaluation) {
+    const TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2, 3}, SeuEstimator{SerModel{}},
+                                mpeg2_deadline_seconds()};
+    EvalContext eval(ctx);
+    const Mapping base = round_robin_mapping(graph, 4);
+    eval.rebase(base);
+    const DesignMetrics first = eval.evaluate_move(0, 1);
+    const auto incremental_before = eval.stats().incremental_evals;
+    const DesignMetrics again = eval.evaluate_move(0, 1);
+    EXPECT_EQ(eval.stats().incremental_evals, incremental_before)
+        << "revisited candidate must be a memo hit, not a re-evaluation";
+    EXPECT_GT(eval.stats().memo_hits, 0u);
+    expect_bit_identical(again, first, "memo hit");
+}
+
+TEST(EvalContextEquivalence, SearchesIdenticalAcrossEvaluationPaths) {
+    for (const Workload& w : workloads()) {
+        const MpsocArchitecture arch(w.cores, VoltageScalingTable::arm7_three_level());
+        ScalingVector levels(w.cores, ScalingLevel{2});
+        const EvaluationContext ctx{w.graph, arch, levels, SeuEstimator{SerModel{}},
+                                    w.deadline_seconds};
+        const Mapping initial = round_robin_mapping(w.graph, w.cores);
+        StrategyOptions options;
+        options.max_iterations = 400;
+        for (const std::string& name : {std::string("optimized"), std::string("annealing")}) {
+            const auto strategy = make_search_strategy(name, options);
+            EvalOptions naive_options;
+            naive_options.naive_reference = true;
+            EvalContext naive_eval(ctx, naive_options);
+            const LocalSearchResult reference = strategy->search(naive_eval, initial, 99);
+
+            std::vector<EvalOptions> variants(3);
+            variants[0] = EvalOptions{}; // full fast path
+            variants[1].memoize = false;
+            variants[2].incremental = false;
+            for (const EvalOptions& variant : variants) {
+                EvalContext eval(ctx, variant);
+                const LocalSearchResult got = strategy->search(eval, initial, 99);
+                const std::string where = w.label + " " + name;
+                EXPECT_EQ(got.best_mapping, reference.best_mapping) << where;
+                expect_bit_identical(got.best_metrics, reference.best_metrics, where);
+                EXPECT_EQ(got.found_feasible, reference.found_feasible) << where;
+                EXPECT_EQ(got.iterations_run, reference.iterations_run) << where;
+                EXPECT_EQ(got.improvements, reference.improvements) << where;
+                EXPECT_EQ(got.evaluations, reference.evaluations) << where;
+            }
+        }
+    }
+}
+
+TEST(EvalContextEquivalence, ExploreJsonByteIdenticalAcrossPathsStrategiesAndThreads) {
+    const Problem problem = ProblemBuilder()
+                                .graph(fig8_example_graph())
+                                .architecture(3, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(k_fig8_deadline_seconds)
+                                .build();
+    for (const std::string& name : {std::string("optimized"), std::string("annealing")}) {
+        ExploreOptions options;
+        options.strategy = name;
+        options.dse.search.max_iterations = 300;
+        options.dse.eval.naive_reference = true;
+        options.dse.num_threads = 1;
+        const std::string reference =
+            optimize_report_json(problem, name, explore(problem, options)).dump();
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            ExploreOptions fast = options;
+            fast.dse.eval = EvalOptions{};
+            fast.dse.num_threads = threads;
+            const std::string got =
+                optimize_report_json(problem, name, explore(problem, fast)).dump();
+            EXPECT_EQ(got, reference) << name << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(EvalContextEquivalence, Validation) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const EvaluationContext ctx{graph, arch, {1, 2, 2}, SeuEstimator{SerModel{}},
+                                k_fig8_deadline_seconds};
+    EvalContext eval(ctx);
+    const Mapping incomplete(graph.task_count(), 3);
+    EXPECT_THROW((void)eval.evaluate(incomplete), std::invalid_argument);
+    EXPECT_THROW((void)eval.evaluate_move(0, 0), std::logic_error); // no base yet
+    const Mapping base = round_robin_mapping(graph, 3);
+    eval.rebase(base);
+    EXPECT_THROW((void)eval.evaluate_move(0, 99), std::invalid_argument);
+    EXPECT_THROW((void)eval.evaluate_move(999, 0), std::invalid_argument);
+    // Identity mutations short-circuit to the base metrics.
+    expect_bit_identical(eval.evaluate_move(0, base.core_of(0)), eval.base_metrics(),
+                         "identity move");
+    expect_bit_identical(eval.evaluate_swap(1, 1), eval.base_metrics(), "identity swap");
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,138 @@
+// Property-based invariants of the evaluation pipeline, in the spirit
+// of analysis-level reliability checks (BEC; soft-error tolerance
+// analysis): whatever the graph, mapping and scaling, a schedule's
+// makespan can never beat the critical path, SEU estimates are
+// non-negative and monotone in exposure, and the Pareto front is
+// invariant under the order candidates were evaluated in.
+#include "seamap/seamap.h"
+
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+#include "tgff/random_graph.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+Mapping random_mapping(const TaskGraph& graph, std::size_t cores, Rng& rng) {
+    Mapping mapping(graph.task_count(), cores);
+    for (TaskId t = 0; t < graph.task_count(); ++t)
+        mapping.assign(t, static_cast<CoreId>(rng.uniform_int(
+                              0, static_cast<std::int64_t>(cores) - 1)));
+    return mapping;
+}
+
+ScalingVector random_scaling(std::size_t cores, std::size_t levels, Rng& rng) {
+    ScalingVector scaling(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        scaling[c] = static_cast<ScalingLevel>(
+            rng.uniform_int(1, static_cast<std::int64_t>(levels)));
+    return scaling;
+}
+
+TEST(EvalInvariants, MakespanNeverBelowCriticalPathOrLowerBound) {
+    Rng rng(101);
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        TgffParams params;
+        params.task_count = 24;
+        const TaskGraph graph = generate_tgff_graph(params, seed);
+        const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+        const ListScheduler scheduler;
+        for (int trial = 0; trial < 12; ++trial) {
+            const ScalingVector levels = random_scaling(4, 3, rng);
+            const Mapping mapping = random_mapping(graph, 4, rng);
+            const Schedule schedule = scheduler.schedule(graph, mapping, arch, levels);
+
+            double fastest = 0.0;
+            for (std::size_t c = 0; c < 4; ++c)
+                fastest = std::max(fastest, arch.frequency_hz(levels[c]));
+            const double batches = static_cast<double>(graph.batch_count());
+            const double critical_path_seconds =
+                static_cast<double>(graph.critical_path_cycles(false)) / batches / fastest;
+            EXPECT_GE(schedule.latency_seconds * (1.0 + 1e-9), critical_path_seconds);
+            // T_M of any concrete design is bounded below by the
+            // mapping-independent lower bound the DSE gate uses.
+            EXPECT_GE(schedule.total_time_seconds * (1.0 + 1e-9),
+                      tm_lower_bound_seconds(graph, arch, levels));
+            // ... and the pipelined completion time is never shorter
+            // than the single-iteration latency.
+            EXPECT_GE(schedule.total_time_seconds * (1.0 + 1e-9), schedule.latency_seconds);
+        }
+    }
+}
+
+TEST(EvalInvariants, SeuRateNonNegativeAndMonotoneInExposure) {
+    Rng rng(202);
+    TgffParams params;
+    params.task_count = 20;
+    const TaskGraph graph = generate_tgff_graph(params, 5);
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const SeuEstimator estimator{SerModel{}};
+    const SeuEstimator busy_estimator{SerModel{}, ExposurePolicy::busy_only};
+    const ListScheduler scheduler;
+    for (int trial = 0; trial < 10; ++trial) {
+        const ScalingVector levels = random_scaling(4, 3, rng);
+        const Mapping mapping = random_mapping(graph, 4, rng);
+        const Schedule schedule = scheduler.schedule(graph, mapping, arch, levels);
+
+        const SeuBreakdown full = estimator.estimate(graph, mapping, arch, levels, schedule);
+        const SeuBreakdown busy =
+            busy_estimator.estimate(graph, mapping, arch, levels, schedule);
+        EXPECT_GE(full.total, 0.0);
+        EXPECT_GE(busy.total, 0.0);
+        for (std::size_t c = 0; c < 4; ++c) {
+            EXPECT_GE(full.per_core[c], 0.0);
+            // A core is never exposed longer than the whole run, so
+            // busy-only exposure can only lower its Gamma.
+            EXPECT_LE(busy.per_core[c], full.per_core[c] * (1.0 + 1e-9));
+        }
+        // core_gamma is monotone in exposure for any state size/Vdd.
+        const double vdd = arch.scaling_table().vdd(levels[0]);
+        double previous = -1.0;
+        for (double exposure : {0.0, 1e-6, 1e-3, 1.0, 10.0}) {
+            const double gamma = estimator.core_gamma(1000, exposure, vdd);
+            EXPECT_GE(gamma, 0.0);
+            EXPECT_GE(gamma, previous);
+            previous = gamma;
+        }
+    }
+}
+
+TEST(EvalInvariants, ParetoFrontInvariantUnderEvaluationOrderShuffles) {
+    // Real feasible points from a small exploration ...
+    const Problem problem = ProblemBuilder()
+                                .graph(fig8_example_graph())
+                                .architecture(3, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(k_fig8_deadline_seconds)
+                                .build();
+    ExploreOptions options;
+    options.dse.search.max_iterations = 300;
+    const DseResult result = explore(problem, options);
+    ASSERT_GT(result.feasible_points.size(), 2u);
+
+    std::vector<DsePoint> points = result.feasible_points;
+    const std::vector<DsePoint> reference = pareto_front_of(points);
+    Rng rng(303);
+    for (int shuffle = 0; shuffle < 8; ++shuffle) {
+        for (std::size_t i = points.size(); i > 1; --i)
+            std::swap(points[i - 1],
+                      points[static_cast<std::size_t>(
+                          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+        const std::vector<DsePoint> front = pareto_front_of(points);
+        ASSERT_EQ(front.size(), reference.size());
+        for (std::size_t i = 0; i < front.size(); ++i) {
+            EXPECT_EQ(front[i].metrics.power_mw, reference[i].metrics.power_mw);
+            EXPECT_EQ(front[i].metrics.gamma, reference[i].metrics.gamma);
+            EXPECT_EQ(front[i].levels, reference[i].levels);
+            EXPECT_EQ(front[i].mapping, reference[i].mapping);
+        }
+    }
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the bench_micro Google Benchmark harness and emit a JSON baseline
+# for the perf trajectory (uploaded as a CI artifact from PR 3 onward).
+#
+#   tools/run_bench.sh [build-dir] [output.json]
+#
+# Defaults: build directory `build`, output `<build-dir>/BENCH_3.json`.
+# Pass BENCH_FILTER to restrict which benchmarks run, e.g.
+#   BENCH_FILTER='bm_sa_neighborhood_step|bm_eval' tools/run_bench.sh
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-${BUILD_DIR}/BENCH_3.json}"
+FILTER="${BENCH_FILTER:-}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+    echo "error: build directory '${BUILD_DIR}' not found (run cmake -B ${BUILD_DIR} -S . first)" >&2
+    exit 1
+fi
+if ! cmake --build "${BUILD_DIR}" --target bench_micro -j; then
+    echo "error: bench_micro did not build — is Google Benchmark (libbenchmark-dev) installed?" >&2
+    exit 1
+fi
+
+BENCH="${BUILD_DIR}/bench/bench_micro"
+ARGS=(--benchmark_out="${OUT}" --benchmark_out_format=json)
+if [[ -n "${FILTER}" ]]; then
+    ARGS+=(--benchmark_filter="${FILTER}")
+fi
+"${BENCH}" "${ARGS[@]}"
+echo "wrote ${OUT}"
