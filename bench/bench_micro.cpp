@@ -6,6 +6,7 @@
 // determine how much design space a given search budget covers.
 #include "seamap/seamap.h"
 
+#include "api/scenarios.h"
 #include "core/initial_mapping.h"
 #include "sim/fault_injection.h"
 #include "taskgraph/mpeg2.h"
@@ -217,6 +218,54 @@ void bm_explore_end_to_end(benchmark::State& state, bool naive) {
 }
 BENCHMARK_CAPTURE(bm_explore_end_to_end, naive, true);
 BENCHMARK_CAPTURE(bm_explore_end_to_end, ctx, false);
+
+// The bound-driven branch-and-bound explorer against the exhaustive
+// Fig. 4 sweep, on the shared prunable scenario of api/scenarios.h (a
+// pipelined private-register workload on a deep dyadic DVS ladder in
+// a clock-tree-dominated power regime with nearly voltage-flat SER,
+// under a time constraint at 2.5x the nominal T_M lower bound — the
+// same Problem tests/core/dse_prune_test.cpp pins byte-identical
+// best/pareto_front on). The pruned run just skips the provably
+// dominated scaling combinations.
+void bm_explore_prunable(benchmark::State& state, bool prune) {
+    const Problem problem = prunable_pipeline_problem(8);
+    ExploreOptions options;
+    options.dse.search.max_iterations = 2'000;
+    options.dse.prune = prune;
+    options.dse.num_threads = static_cast<std::size_t>(state.range(0));
+    DseResult last;
+    for (auto _ : state) {
+        last = explore(problem, options);
+        benchmark::DoNotOptimize(last);
+    }
+    state.counters["searched"] = static_cast<double>(last.scalings_searched);
+    state.counters["pruned"] = static_cast<double>(last.scalings_pruned);
+}
+BENCHMARK_CAPTURE(bm_explore_prunable, exhaustive, false)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_explore_prunable, pruned, true)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Multi-start saturation: with fewer runnable scalings than workers,
+// K independent per-scaling starts (deterministic best-of-K fold) use
+// the idle threads, so quadrupling the search effort costs far less
+// than 4x wall-clock.
+void bm_explore_multi_start(benchmark::State& state) {
+    // Few gate-passing scalings, so single-start leaves workers idle.
+    const Problem problem = prunable_pipeline_problem(3);
+    ExploreOptions options;
+    options.dse.search.max_iterations = 2'000;
+    options.dse.num_threads = 8;
+    options.dse.multi_start = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(explore(problem, options));
+    }
+}
+BENCHMARK(bm_explore_multi_start)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void bm_scaling_enumeration(benchmark::State& state) {
     const auto cores = static_cast<std::size_t>(state.range(0));

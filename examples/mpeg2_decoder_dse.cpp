@@ -33,6 +33,9 @@ public:
         case ScalingProgress::Outcome::skipped_infeasible:
             std::cout << "skipped (T_M lower bound misses deadline)\n";
             break;
+        case ScalingProgress::Outcome::pruned:
+            std::cout << "pruned (bounds dominated by an incumbent design)\n";
+            break;
         case ScalingProgress::Outcome::searched_no_design:
             std::cout << "searched, no feasible mapping\n";
             break;

@@ -36,6 +36,7 @@ JsonValue to_json(const DseResult& result) {
     scalings["enumerated"] = result.scalings_enumerated;
     scalings["searched"] = result.scalings_searched;
     scalings["skipped_infeasible"] = result.scalings_skipped_infeasible;
+    scalings["pruned"] = result.scalings_pruned;
     out["scalings"] = std::move(scalings);
     out["best"] = result.best ? to_json(*result.best) : JsonValue();
     out["feasible_count"] = static_cast<std::uint64_t>(result.feasible_points.size());

@@ -1,0 +1,63 @@
+#include "api/scenarios.h"
+
+#include "sched/list_scheduler.h"
+#include "util/rng.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace seamap {
+
+Problem prunable_pipeline_problem(std::size_t cores, std::size_t stages,
+                                  std::size_t width) {
+    RegisterFile file;
+    Rng widths(21);
+    for (std::size_t s = 0; s < stages; ++s)
+        for (std::size_t w = 0; w < width; ++w)
+            file.add_register("r" + std::to_string(s) + "_" + std::to_string(w),
+                              256 + static_cast<std::uint64_t>(widths.uniform_int(0, 1791)));
+    TaskGraph graph("prunable_pipe", std::move(file));
+    Rng rng(9);
+    std::vector<TaskId> previous;
+    RegisterId next_register = 0;
+    for (std::size_t s = 0; s < stages; ++s) {
+        std::vector<TaskId> current;
+        for (std::size_t w = 0; w < width; ++w) {
+            const std::uint64_t exec =
+                600'000 + static_cast<std::uint64_t>(rng.uniform_int(0, 1'799'999));
+            const RegisterId own = next_register++;
+            const TaskId task =
+                graph.add_task("t" + std::to_string(s) + "_" + std::to_string(w), exec,
+                               std::vector<RegisterId>{own});
+            if (!previous.empty()) {
+                const std::size_t parent = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(previous.size()) - 1));
+                graph.add_edge(previous[parent], task,
+                               20'000 +
+                                   static_cast<std::uint64_t>(rng.uniform_int(0, 29'999)));
+            }
+            current.push_back(task);
+        }
+        previous = current;
+    }
+    graph.set_batch_count(256);
+
+    PowerParams power;
+    power.idle_activity = 0.85; // clock-tree-dominated power
+    SerParams ser;
+    ser.voltage_exponent_k = 0.1; // nearly voltage-flat SER
+    MpsocArchitecture arch(cores,
+                           VoltageScalingTable::from_frequencies({200.0, 100.0, 50.0, 25.0}),
+                           power);
+    const double deadline =
+        2.5 * tm_lower_bound_seconds(graph, arch, ScalingVector(cores, 1));
+    return ProblemBuilder()
+        .graph(std::move(graph))
+        .architecture(std::move(arch))
+        .deadline_seconds(deadline)
+        .ser_model(SerModel{ser})
+        .build();
+}
+
+} // namespace seamap

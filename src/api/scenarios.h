@@ -1,0 +1,27 @@
+// Ready-made reproducible Problems for benches, tests and examples —
+// scenario definitions that must stay bit-for-bit identical across the
+// call sites that cite each other's numbers (a benchmark recorded in
+// BENCH_N.json and the test pinning that benchmark's correctness claim
+// must run the *same* workload, so it is defined exactly once, here).
+// Deliberately NOT exported through seamap/seamap.h: these are bench
+// fixtures, not stable public API — include this header directly.
+#pragma once
+
+#include "api/problem.h"
+
+#include <cstddef>
+
+namespace seamap {
+
+/// The branch-and-bound "prunable scaling space" scenario of the
+/// README performance table and bm_explore_prunable: a pipelined
+/// private-register workload (`stages` x `width` tasks, 256 batches,
+/// light communication) on a deep dyadic DVS ladder (200/100/50/25
+/// MHz) in a clock-tree-dominated power regime (idle_activity 0.85)
+/// with nearly voltage-flat SER (k = 0.1), deadline 2.5x the
+/// all-nominal T_M lower bound. Deterministic: identical arguments
+/// produce an identical Problem.
+Problem prunable_pipeline_problem(std::size_t cores, std::size_t stages = 8,
+                                  std::size_t width = 8);
+
+} // namespace seamap

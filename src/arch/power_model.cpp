@@ -18,6 +18,11 @@ double PowerModel::core_active_power_mw(ScalingLevel level) const {
     return watts * 1e3;
 }
 
+double PowerModel::core_energy_per_cycle_mws(ScalingLevel level) const {
+    const OperatingPoint& op = table_.at_level(level);
+    return core_active_power_mw(level) / (op.f_mhz * 1e6);
+}
+
 double PowerModel::mpsoc_power_mw(std::span<const ScalingLevel> levels,
                                   std::span<const double> utilizations) const {
     if (levels.size() != utilizations.size())

@@ -38,6 +38,14 @@ public:
     /// Active power of one core at the given level, in mW (eq. 1).
     double core_active_power_mw(ScalingLevel level) const;
 
+    /// Active energy per clock cycle at the given level, in mW·s/cycle
+    /// (core_active_power_mw / frequency_hz — proportional to Vdd^2).
+    /// This is the per-level "cost of a cycle" the branch-and-bound
+    /// power lower bound (core/scaling_bounds.h) assigns work with: a
+    /// feasible design's busy energy can never undercut its cycle count
+    /// priced at the cheapest level of the scaling combination.
+    double core_energy_per_cycle_mws(ScalingLevel level) const;
+
     /// MPSoC power (eq. 5): per-core level and utilization in [0, 1].
     /// A utilization of exactly 0 means "no tasks mapped" -> power-gated.
     double mpsoc_power_mw(std::span<const ScalingLevel> levels,

@@ -2,25 +2,31 @@
 
 #include "core/initial_mapping.h"
 #include "core/observer.h"
+#include "core/scaling_bounds.h"
 #include "core/search_strategy.h"
+#include "util/float_compare.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cmath>
+#include <limits>
 #include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
 
 namespace seamap {
 
 namespace {
 
-/// Outcome of one scaling combination, written by exactly one worker
-/// into its pre-assigned slot so the merge below can fold counters and
-/// feasible points in enumeration order regardless of thread count.
+/// Final outcome of one scaling combination after the deterministic
+/// merge replay. Written in pre-assigned slots so counters and feasible
+/// points fold in enumeration order regardless of thread count.
 struct ScalingOutcome {
     enum class Status : unsigned char {
-        not_run,            ///< stop requested before this slot started
+        not_run,            ///< stop requested before this slot finished
         skipped_infeasible, ///< failed the T_M lower-bound gate
+        pruned,             ///< bounds dominated by an earlier survivor
         searched_no_design, ///< searched, no feasible mapping found
         feasible,           ///< searched, `point` holds the best design
     };
@@ -28,25 +34,84 @@ struct ScalingOutcome {
     DsePoint point;
 };
 
-/// Symmetric relative comparison for the Pareto dedup. Purely
-/// relative: the epsilon scales with max(|a|, |b|) and nothing else,
-/// so degenerate near-zero metrics (a 0-power design vs. a 1e-12-power
-/// design) stay distinct instead of collapsing under an absolute
-/// floor. Exact equality (including 0 == 0) still deduplicates.
-bool nearly_equal(double a, double b) {
-    return std::abs(a - b) <= 1e-9 * std::max(std::abs(a), std::abs(b));
+/// Deterministic best-of-K fold over a scaling's multi-start results:
+/// feasibility first, then the search objective (fewest expected SEUs),
+/// power, completion time, and finally the mapping as a total-order
+/// tie-break. Folding in start order makes the pick a pure function of
+/// the K results. With one start this is the identity.
+bool better_start(const LocalSearchResult& a, const LocalSearchResult& b) {
+    if (a.found_feasible != b.found_feasible) return a.found_feasible;
+    if (a.found_feasible) {
+        if (a.best_metrics.gamma != b.best_metrics.gamma)
+            return a.best_metrics.gamma < b.best_metrics.gamma;
+        if (a.best_metrics.power_mw != b.best_metrics.power_mw)
+            return a.best_metrics.power_mw < b.best_metrics.power_mw;
+    }
+    if (a.best_metrics.tm_seconds != b.best_metrics.tm_seconds)
+        return a.best_metrics.tm_seconds < b.best_metrics.tm_seconds;
+    return a.best_mapping.raw() < b.best_mapping.raw();
 }
 
-/// The paper's step-3 selection rule: lower power wins; within the
-/// relative power tie window, fewer expected SEUs win. Shared by the
-/// deterministic final fold and the streamed incumbent so both report
-/// the same design for the same point sequence.
-bool better_design(const DsePoint& candidate, const DsePoint& best, double tie) {
-    const double best_power = best.metrics.power_mw;
-    const double power = candidate.metrics.power_mw;
-    const bool near_tie =
-        std::abs(power - best_power) <= tie * std::max(best_power, power);
-    return near_tie ? candidate.metrics.gamma < best.metrics.gamma : power < best_power;
+const LocalSearchResult& fold_starts(const std::vector<LocalSearchResult>& starts) {
+    const LocalSearchResult* best = &starts.front();
+    for (std::size_t r = 1; r < starts.size(); ++r)
+        if (better_start(starts[r], *best)) best = &starts[r];
+    return *best;
+}
+
+/// Incumbent (P, Gamma) staircase the branch-and-bound prunes against:
+/// kept sorted by power ascending with strictly decreasing gamma. A
+/// combination is prunable only when some incumbent beats its bounds
+/// *strictly in both objectives* — then every design it could contain
+/// is strictly dominated and can appear in neither the front nor the
+/// pick (the front filter uses <=/<, so strict-both implies removal).
+class DominanceFront {
+public:
+    void insert(double power, double gamma) {
+        // First staircase point with power >= the new one.
+        auto at = std::lower_bound(points_.begin(), points_.end(),
+                                   std::pair<double, double>{power, -1.0});
+        if (at != points_.begin() && std::prev(at)->second <= gamma)
+            return; // weakly dominated by a cheaper point
+        if (at != points_.end() && at->first == power && at->second <= gamma)
+            return; // weakly dominated at equal power
+        auto last = at;
+        while (last != points_.end() && last->second >= gamma) ++last;
+        at = points_.erase(at, last);
+        points_.insert(at, {power, gamma});
+    }
+
+    /// True when some incumbent strictly beats (power_lb, gamma_lb) in
+    /// both objectives.
+    bool dominates(const ScalingBounds& bounds) const {
+        // Last staircase point with power < power_lb carries the
+        // minimum gamma among all of them.
+        auto at = std::lower_bound(points_.begin(), points_.end(),
+                                   std::pair<double, double>{bounds.power_mw_lb, -1.0});
+        if (at == points_.begin()) return false;
+        return std::prev(at)->second < bounds.gamma_lb;
+    }
+
+private:
+    std::vector<std::pair<double, double>> points_;
+};
+
+/// The paper's step-3 selection rule — minimum power, fewer expected
+/// SEUs within the relative power tie window — applied to the sorted
+/// Pareto front. On the front the rule is a pure function of the point
+/// set (no evaluation-order sensitivity), which is what makes it
+/// invariant under dominance pruning: pruned designs never reach a
+/// front.
+std::optional<DsePoint> select_best(const std::vector<DsePoint>& front, double tie) {
+    if (front.empty()) return std::nullopt;
+    const DsePoint* best = &front.front();
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        const DsePoint& candidate = front[i];
+        if (within_relative_tie(candidate.metrics.power_mw, best->metrics.power_mw, tie) &&
+            candidate.metrics.gamma < best->metrics.gamma)
+            best = &candidate;
+    }
+    return *best;
 }
 
 } // namespace
@@ -74,97 +139,276 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     stop.set_budget_seconds(params.total_time_budget_seconds);
 
     // The sequence is materialized up front so each combination has a
-    // fixed slot: workers may finish out of order, but counters and
-    // feasible points are folded in enumeration order below, making the
-    // result independent of the thread count (absent wall-clock cuts).
+    // fixed slot: workers may finish out of order, but the merge below
+    // replays prune decisions in best-first order and folds counters
+    // and feasible points in enumeration order, making the result
+    // independent of the thread count (absent wall-clock cuts).
     std::vector<ScalingVector> combinations;
     ScalingEnumerator enumerator(arch.core_count(), arch.scaling_table().level_count());
     while (auto levels = enumerator.next()) combinations.push_back(std::move(*levels));
     std::vector<ScalingOutcome> outcomes(combinations.size());
 
-    // Observer state: callbacks are serialized behind one mutex; the
-    // streamed incumbent applies the selection rule in completion
-    // order, which with one thread equals enumeration order.
-    std::mutex observer_mutex;
-    std::optional<DsePoint> incumbent;
+    const std::size_t starts = std::max<std::size_t>(1, params.multi_start);
     const double tie = std::max(0.0, params.power_tie_tolerance);
+
+    // Observer state: callbacks are serialized behind one mutex. The
+    // streamed incumbent is the step-3 rule applied to the Pareto front
+    // of everything completed so far, so its last value matches the
+    // final best at any thread count (dominated — later pruned —
+    // designs never move a front).
+    std::mutex observer_mutex;
+    std::vector<DsePoint> observed_points;
+    DominanceFront observed_front; // strict-dominance filter for arrivals
+    std::optional<DsePoint> observed_best;
     if (observer != nullptr) observer->on_explore_begin(combinations.size());
-    auto notify = [&](std::size_t index, const ScalingOutcome& outcome) {
+    auto notify = [&](std::size_t index, ScalingProgress::Outcome outcome,
+                      const DsePoint* point) {
         if (observer == nullptr) return;
         std::lock_guard lock(observer_mutex);
         ScalingProgress progress;
         progress.index = index;
         progress.total = combinations.size();
         progress.levels = combinations[index];
-        switch (outcome.status) {
-        case ScalingOutcome::Status::not_run:
-            return;
-        case ScalingOutcome::Status::skipped_infeasible:
-            progress.outcome = ScalingProgress::Outcome::skipped_infeasible;
-            break;
-        case ScalingOutcome::Status::searched_no_design:
-            progress.outcome = ScalingProgress::Outcome::searched_no_design;
-            break;
-        case ScalingOutcome::Status::feasible:
-            progress.outcome = ScalingProgress::Outcome::feasible;
-            progress.metrics = outcome.point.metrics;
-            break;
-        }
+        progress.outcome = outcome;
+        if (point != nullptr) progress.metrics = point->metrics;
         observer->on_scaling_done(progress);
-        if (outcome.status == ScalingOutcome::Status::feasible &&
-            (!incumbent || better_design(outcome.point, *incumbent, tie))) {
-            incumbent = outcome.point;
-            observer->on_incumbent(*incumbent);
+        if (point == nullptr) return;
+        // A strictly dominated arrival can never enter any current or
+        // future Pareto front (its dominator is retained), so the
+        // fold's result cannot change: skip the O(n log n) recompute.
+        // Keeps the serialized incumbent stream cheap when most
+        // completions are dominated (the common case at scale).
+        if (observed_front.dominates(
+                ScalingBounds{point->metrics.power_mw, point->metrics.gamma}))
+            return;
+        observed_front.insert(point->metrics.power_mw, point->metrics.gamma);
+        observed_points.push_back(*point);
+        std::optional<DsePoint> incumbent = select_best(pareto_front_of(observed_points), tie);
+        const bool changed =
+            incumbent &&
+            (!observed_best || incumbent->levels != observed_best->levels ||
+             incumbent->mapping != observed_best->mapping ||
+             incumbent->metrics.power_mw != observed_best->metrics.power_mw ||
+             incumbent->metrics.gamma != observed_best->metrics.gamma);
+        if (changed) {
+            observed_best = std::move(incumbent);
+            observer->on_incumbent(*observed_best);
         }
     };
 
-    auto evaluate_combination = [&](std::size_t index) {
-        if (stop.stop_requested()) return; // slot stays not_run
-        const ScalingVector& levels = combinations[index];
-        ScalingOutcome& outcome = outcomes[index];
+    // --- plan: gate, bounds, best-first order -------------------------
+    // Per-combination T_M lower bounds gate hopeless scalings exactly
+    // as before; survivors get sound (power, Gamma) lower bounds and
+    // run best-first by power bound so strong incumbents arrive early.
+    struct SearchSlot {
+        std::size_t combo = 0; ///< enumeration index
+        /// One bound pair per admissible powered-core case; the slot
+        /// is prunable only when every case is strictly dominated.
+        std::vector<ScalingBounds> cases;
+        /// Pointwise-minimum corner, for best-first ordering.
+        ScalingBounds bounds;
+        std::vector<LocalSearchResult> start_results;
+        std::vector<unsigned char> start_ran; ///< 1 = searched or prune-skipped
+        bool runtime_pruned = false;
+        std::size_t starts_done = 0;
+    };
+    std::vector<SearchSlot> slots;
+    if (!stop.stop_requested()) {
+        // Bounds exist to prune; the exhaustive mode skips their
+        // (per-combination exponential powered-subset) computation
+        // entirely and just runs slots in enumeration order — the
+        // deterministic merge makes ordering unobservable.
+        const std::optional<ScalingBoundsModel> bounds_model =
+            params.prune ? std::optional<ScalingBoundsModel>(std::in_place, graph, arch,
+                                                             deadline_seconds, ser_, policy_)
+                         : std::nullopt;
+        for (std::size_t index = 0; index < combinations.size(); ++index) {
+            if (stop.stop_requested()) break; // remaining slots stay not_run
+            if (tm_lower_bound_seconds(graph, arch, combinations[index]) >
+                deadline_seconds * (1.0 + 1e-9)) {
+                // Gate skips are free: record and stream them right
+                // here, ahead of any search.
+                outcomes[index].status = ScalingOutcome::Status::skipped_infeasible;
+                notify(index, ScalingProgress::Outcome::skipped_infeasible, nullptr);
+                continue;
+            }
+            SearchSlot slot;
+            slot.combo = index;
+            if (bounds_model) {
+                slot.cases = bounds_model->case_bounds_for(combinations[index]);
+                slot.bounds = ScalingBoundsModel::corner_of(slot.cases);
+            }
+            slot.start_results.resize(starts);
+            slot.start_ran.assign(starts, 0);
+            slots.push_back(std::move(slot));
+        }
+        std::sort(slots.begin(), slots.end(), [](const SearchSlot& a, const SearchSlot& b) {
+            if (a.bounds.power_mw_lb != b.bounds.power_mw_lb)
+                return a.bounds.power_mw_lb < b.bounds.power_mw_lb;
+            return a.combo < b.combo;
+        });
+    }
 
-        // Step 1 gate: skip scalings that cannot possibly meet the
-        // deadline under any mapping.
-        if (tm_lower_bound_seconds(graph, arch, levels) >
-            deadline_seconds * (1.0 + 1e-9)) {
-            outcome.status = ScalingOutcome::Status::skipped_infeasible;
-            notify(index, outcome);
-            return;
+    // --- run ----------------------------------------------------------
+    // Shared branch-and-bound state: the incumbent front holds the
+    // folded design of every *decided* slot (the contiguous completed
+    // prefix of the best-first order), so a worker's prune decision
+    // only ever uses information from slots strictly earlier in that
+    // order — a subset of what the deterministic merge replay knows,
+    // which is what keeps worker pruning a subset of replay pruning.
+    std::mutex bb_mutex;
+    DominanceFront incumbent_front;
+    // A slot is prunable when every powered-core case is strictly
+    // dominated by some incumbent (different cases may fall to
+    // different incumbents); an empty case list means the capacity
+    // pre-filter could not even place the work — left to the search.
+    auto front_prunes = [](const DominanceFront& front, const SearchSlot& slot) {
+        if (slot.cases.empty()) return false;
+        return std::all_of(slot.cases.begin(), slot.cases.end(),
+                           [&](const ScalingBounds& bounds) {
+                               return front.dominates(bounds);
+                           });
+    };
+    std::vector<unsigned char> slot_completed(slots.size(), 0);
+    std::size_t decided = 0;
+
+    auto run_start = [&](std::size_t pos, std::size_t start_index) {
+        SearchSlot& slot = slots[pos];
+        const std::size_t index = slot.combo;
+        if (!stop.stop_requested()) {
+            bool do_search = true;
+            if (params.prune) {
+                std::lock_guard lock(bb_mutex);
+                if (slot.runtime_pruned) {
+                    do_search = false;
+                } else if (front_prunes(incumbent_front, slot)) {
+                    slot.runtime_pruned = true;
+                    do_search = false;
+                }
+            }
+            if (do_search) {
+                const ScalingVector& levels = combinations[index];
+                EvaluationContext ctx{graph, arch, levels, SeuEstimator(ser_, policy_),
+                                      deadline_seconds};
+                // The reusable per-start evaluation engine this
+                // worker's search runs on: preallocated scratch,
+                // incremental rescheduling and the memo table all live
+                // here, private to this worker, so thread-count
+                // invariance is untouched.
+                EvalContext eval(ctx, params.eval);
+                Mapping initial = params.use_initial_sea_mapping
+                                      ? initial_sea_mapping(ctx)
+                                      : round_robin_mapping(graph, arch.core_count());
+                // Vary the search seed per scaling so repeated scalings
+                // do not replay the same random walk; start 0 keeps the
+                // historic derivation so multi_start == 1 is unchanged.
+                std::uint64_t level_hash = 0xcbf29ce484222325ULL;
+                for (ScalingLevel level : levels) level_hash = splitmix64(level_hash ^ level);
+                std::uint64_t seed = splitmix64(params.search.seed ^ level_hash);
+                if (start_index > 0)
+                    seed = splitmix64(seed + 0x9e3779b97f4a7c15ULL * start_index);
+                slot.start_results[start_index] =
+                    strategy.search(eval, initial, seed, &stop);
+            }
+            std::lock_guard lock(bb_mutex);
+            slot.start_ran[start_index] = 1;
         }
 
-        EvaluationContext ctx{graph, arch, levels, SeuEstimator(ser_, policy_),
-                              deadline_seconds};
-        // The reusable per-scaling evaluation engine this worker's
-        // search runs on: preallocated scratch, incremental
-        // rescheduling and the memo table all live here, private to
-        // this worker, so thread-count invariance is untouched.
-        EvalContext eval(ctx, params.eval);
+        // Completion bookkeeping: the last start of a slot decides its
+        // live outcome, advances the decided prefix and folds surviving
+        // designs into the incumbent front.
+        ScalingProgress::Outcome live_outcome = ScalingProgress::Outcome::pruned;
+        const DsePoint* live_point = nullptr;
+        DsePoint folded_point;
+        bool completed_now = false;
+        {
+            std::lock_guard lock(bb_mutex);
+            if (++slot.starts_done < starts) return;
+            slot_completed[pos] = 1;
+            const bool fully_ran =
+                std::all_of(slot.start_ran.begin(), slot.start_ran.end(),
+                            [](unsigned char ran) { return ran == 1; });
+            if (fully_ran) {
+                completed_now = true;
+                if (!slot.runtime_pruned) {
+                    const LocalSearchResult& folded = fold_starts(slot.start_results);
+                    if (folded.found_feasible) {
+                        folded_point.levels = combinations[index];
+                        folded_point.mapping = folded.best_mapping;
+                        folded_point.metrics = folded.best_metrics;
+                        live_outcome = ScalingProgress::Outcome::feasible;
+                        live_point = &folded_point;
+                    } else {
+                        live_outcome = ScalingProgress::Outcome::searched_no_design;
+                    }
+                }
+            }
+            while (decided < slots.size() && slot_completed[decided]) {
+                const SearchSlot& done = slots[decided];
+                const bool done_ran =
+                    std::all_of(done.start_ran.begin(), done.start_ran.end(),
+                                [](unsigned char ran) { return ran == 1; });
+                if (done_ran && !done.runtime_pruned) {
+                    const LocalSearchResult& folded = fold_starts(done.start_results);
+                    if (folded.found_feasible)
+                        incumbent_front.insert(folded.best_metrics.power_mw,
+                                               folded.best_metrics.gamma);
+                }
+                ++decided;
+            }
+        }
+        if (completed_now) notify(index, live_outcome, live_point);
+    };
 
-        // Step 2: soft error-aware mapping through the pluggable
-        // strategy. Vary the search seed per scaling so repeated
-        // scalings do not replay the same random walk.
-        Mapping initial = params.use_initial_sea_mapping
-                              ? initial_sea_mapping(ctx)
-                              : round_robin_mapping(graph, arch.core_count());
-        std::uint64_t level_hash = 0xcbf29ce484222325ULL;
-        for (ScalingLevel level : levels) level_hash = splitmix64(level_hash ^ level);
-        const std::uint64_t seed = splitmix64(params.search.seed ^ level_hash);
-        LocalSearchResult searched = strategy.search(eval, initial, seed, &stop);
-        if (!searched.found_feasible) {
+    if (!slots.empty()) {
+        ThreadPool pool(std::min(ThreadPool::resolve_thread_count(params.num_threads),
+                                 slots.size() * starts));
+        // Searches run best-first by power bound (enumeration order
+        // when pruning is off): lower priority value wins the queue.
+        for (std::size_t pos = 0; pos < slots.size(); ++pos)
+            for (std::size_t r = 0; r < starts; ++r)
+                pool.submit(pos, [&, pos, r] { run_start(pos, r); });
+        pool.wait_idle();
+    }
+
+    // --- merge: deterministic branch-and-bound replay -----------------
+    // Replays the prune decisions sequentially in best-first order from
+    // the recorded outcomes: a slot is pruned iff its bounds are
+    // strictly dominated by the folded design of an earlier surviving
+    // slot. Worker-side pruning is always a subset of this (a worker
+    // only ever consulted earlier survivors), so every replay-surviving
+    // slot has real search results; searches the replay prunes are
+    // discarded as speculative. The outcome is a pure function of the
+    // problem — identical for every thread count.
+    DominanceFront replay_front;
+    for (SearchSlot& slot : slots) {
+        ScalingOutcome& outcome = outcomes[slot.combo];
+        const bool fully_ran =
+            !slot.start_ran.empty() &&
+            std::all_of(slot.start_ran.begin(), slot.start_ran.end(),
+                        [](unsigned char ran) { return ran == 1; });
+        if (!fully_ran) continue; // stop cut this slot: stays not_run
+        if (params.prune && front_prunes(replay_front, slot)) {
+            outcome.status = ScalingOutcome::Status::pruned;
+            continue;
+        }
+        if (slot.runtime_pruned)
+            throw std::logic_error(
+                "DesignSpaceExplorer: worker pruned a slot the deterministic replay "
+                "keeps — scaling bounds are unsound");
+        const LocalSearchResult& folded = fold_starts(slot.start_results);
+        if (!folded.found_feasible) {
             outcome.status = ScalingOutcome::Status::searched_no_design;
-            notify(index, outcome);
-            return;
+            continue;
         }
         outcome.status = ScalingOutcome::Status::feasible;
-        outcome.point.levels = levels;
-        outcome.point.mapping = std::move(searched.best_mapping);
-        outcome.point.metrics = searched.best_metrics;
-        notify(index, outcome);
-    };
+        outcome.point.levels = combinations[slot.combo];
+        outcome.point.mapping = folded.best_mapping;
+        outcome.point.metrics = folded.best_metrics;
+        replay_front.insert(folded.best_metrics.power_mw, folded.best_metrics.gamma);
+    }
 
-    parallel_for_index(combinations.size(), params.num_threads, evaluate_combination);
-
-    // Deterministic merge in enumeration order.
+    // Deterministic fold in enumeration order.
     DseResult result;
     result.scalings_total = combinations.size();
     for (ScalingOutcome& outcome : outcomes) {
@@ -174,6 +418,10 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         case ScalingOutcome::Status::skipped_infeasible:
             ++result.scalings_enumerated;
             ++result.scalings_skipped_infeasible;
+            continue;
+        case ScalingOutcome::Status::pruned:
+            ++result.scalings_enumerated;
+            ++result.scalings_pruned;
             continue;
         case ScalingOutcome::Status::searched_no_design:
             ++result.scalings_enumerated;
@@ -187,42 +435,54 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     }
 
     // Step 3: iterative assessment — among feasible designs pick
-    // minimum power, breaking near-ties by Gamma.
-    for (const DsePoint& point : result.feasible_points)
-        if (!result.best || better_design(point, *result.best, tie)) result.best = point;
+    // minimum power, breaking near-ties by Gamma. Applied to the front,
+    // where the rule is order-independent and prune-invariant.
     result.pareto_front = pareto_front_of(result.feasible_points);
+    result.best = select_best(result.pareto_front, tie);
     if (observer != nullptr) observer->on_explore_end(result);
     return result;
 }
 
 std::vector<DsePoint> pareto_front_of(const std::vector<DsePoint>& points) {
-    std::vector<DsePoint> front;
-    for (const DsePoint& candidate : points) {
-        bool dominated = false;
-        for (const DsePoint& other : points) {
-            const bool no_worse = other.metrics.power_mw <= candidate.metrics.power_mw &&
-                                  other.metrics.gamma <= candidate.metrics.gamma;
-            const bool strictly_better = other.metrics.power_mw < candidate.metrics.power_mw ||
-                                         other.metrics.gamma < candidate.metrics.gamma;
-            if (no_worse && strictly_better) {
-                dominated = true;
-                break;
-            }
-        }
-        if (!dominated) front.push_back(candidate);
-    }
-    // Total order (power, gamma, levels, mapping) — not just power —
-    // so the sorted front, and therefore which representative of a
-    // near-duplicate group survives the dedup below, is independent of
-    // the order candidates were evaluated in (std::sort is unstable;
-    // sorting on power alone left equal-power groups in input order).
-    std::sort(front.begin(), front.end(), [](const DsePoint& a, const DsePoint& b) {
+    // Sort-and-sweep over the 2-D (power, gamma) objectives: sorting by
+    // the same total order the output uses anyway, a point is dominated
+    // iff the minimum gamma among strictly-cheaper points is <= its own
+    // (strictness then comes from the power gap) or a same-power point
+    // has strictly smaller gamma. O(n log n) against the former
+    // all-pairs scan, with byte-identical output: survivors are the
+    // same set, already in the output's total order.
+    std::vector<std::size_t> order(points.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t ia, std::size_t ib) {
+        const DsePoint& a = points[ia];
+        const DsePoint& b = points[ib];
         if (a.metrics.power_mw != b.metrics.power_mw)
             return a.metrics.power_mw < b.metrics.power_mw;
         if (a.metrics.gamma != b.metrics.gamma) return a.metrics.gamma < b.metrics.gamma;
         if (a.levels != b.levels) return a.levels < b.levels;
         return a.mapping.raw() < b.mapping.raw();
     });
+
+    std::vector<DsePoint> front;
+    double cheaper_min_gamma = std::numeric_limits<double>::infinity();
+    for (std::size_t group = 0; group < order.size();) {
+        std::size_t group_end = group;
+        const double group_power = points[order[group]].metrics.power_mw;
+        while (group_end < order.size() &&
+               points[order[group_end]].metrics.power_mw == group_power)
+            ++group_end;
+        // Within an equal-power group the sort put minimum gamma first.
+        const double group_min_gamma = points[order[group]].metrics.gamma;
+        for (std::size_t k = group; k < group_end; ++k) {
+            const DsePoint& candidate = points[order[k]];
+            const bool dominated = cheaper_min_gamma <= candidate.metrics.gamma ||
+                                   group_min_gamma < candidate.metrics.gamma;
+            if (!dominated) front.push_back(candidate);
+        }
+        cheaper_min_gamma = std::min(cheaper_min_gamma, group_min_gamma);
+        group = group_end;
+    }
+
     // Drop near-duplicates on (P, Gamma) so the front is a clean
     // staircase; exact float equality would keep points that differ
     // only in the last ulp of an otherwise identical design. Each

@@ -3,14 +3,33 @@
 // (soft error-aware task mapping, step 2) under a real-time constraint,
 // with iterative assessment (step 3).
 //
-// Scaling combinations are enumerated with nextScaling (Fig. 5) from
-// the lowest-voltage point upward; combinations whose execution-time
-// lower bound already misses the deadline are skipped. For every
-// remaining combination the two-stage mapper (InitialSEAMapping +
-// OptimizedMapping) minimizes the expected SEUs; the explorer records
-// each feasible design's (P, Gamma) and finally reports
-//   - the paper's pick: minimum power, ties broken by fewer SEUs, and
+// Scaling combinations are enumerated with nextScaling (Fig. 5);
+// combinations whose execution-time lower bound already misses the
+// deadline are skipped. The surviving combinations run as a bound-
+// driven branch-and-bound instead of a flat sweep: each gets sound
+// power/Gamma lower bounds (core/scaling_bounds.h), work is ordered
+// best-first by power bound so good incumbents arrive early, and a
+// shared incumbent front lets workers skip combinations whose entire
+// mapping space is provably dominated. For every combination that
+// survives, the two-stage mapper (InitialSEAMapping + OptimizedMapping)
+// minimizes the expected SEUs; the explorer records each feasible
+// design's (P, Gamma) and finally reports
+//   - the paper's pick: minimum power, ties broken by fewer SEUs
+//     (applied to the Pareto front, where it is independent of
+//     evaluation order and of pruning), and
 //   - the Pareto front over (P, Gamma) for inspection.
+//
+// Pruning soundness: a combination is pruned only when an already-
+// evaluated design beats its *lower bounds* strictly in both power and
+// Gamma — every design it could contain is then strictly dominated, so
+// `best` and `pareto_front` are bit-identical to the exhaustive run.
+// Determinism: the final merge *replays* the prune decisions
+// sequentially in best-first order from the recorded outcomes, so
+// which combinations count as pruned (and therefore feasible_points
+// and every counter) is a pure function of the problem — identical at
+// every thread count; worker-side pruning against the shared incumbent
+// front is only ever a subset of that replay (a search the replay
+// prunes is discarded as speculative).
 #pragma once
 
 #include "arch/mpsoc.h"
@@ -69,6 +88,21 @@ struct DseParams {
     /// path. Exposed so the equivalence harness and the benches can
     /// pin the optimization against the naive path end-to-end.
     EvalOptions eval;
+    /// Bound-driven pruning: skip scaling combinations whose power and
+    /// Gamma lower bounds are strictly dominated by an already-found
+    /// design. `best` and `pareto_front` are unaffected (bit-identical
+    /// to an exhaustive run); `feasible_points` loses only provably
+    /// dominated entries, deterministically at every thread count.
+    /// Turn off to force the exhaustive Fig. 4 sweep.
+    bool prune = true;
+    /// Independent mapping searches per scaling combination (distinct
+    /// derived seeds, deterministic best-of-K fold). Values > 1 keep
+    /// the worker pool saturated when fewer runnable scalings than
+    /// threads remain, trading the idle capacity for search quality.
+    /// 0 is treated as 1. The fold keeps start 0's walk identical to
+    /// multi_start == 1, and results stay bit-identical across thread
+    /// counts for any fixed value.
+    std::size_t multi_start = 1;
 };
 
 /// Exploration outcome.
@@ -88,6 +122,12 @@ struct DseResult {
     /// enumerated/total is the completed fraction.
     std::uint64_t scalings_enumerated = 0;
     std::uint64_t scalings_skipped_infeasible = 0;
+    /// Combinations whose whole mapping space was provably dominated
+    /// by an already-found design (DseParams::prune); their searches
+    /// were skipped (or discarded as speculative). Deterministic for
+    /// any thread count.
+    std::uint64_t scalings_pruned = 0;
+    /// Combinations whose mapping search ran and counted.
     std::uint64_t scalings_searched = 0;
 };
 

@@ -28,6 +28,7 @@ struct ScalingProgress {
     ScalingVector levels;
     enum class Outcome {
         skipped_infeasible, ///< failed the T_M lower-bound gate
+        pruned,             ///< bounds dominated by an incumbent; search skipped
         searched_no_design, ///< searched, no feasible mapping found
         feasible,           ///< searched, `metrics` holds the design's scores
     };
@@ -45,12 +46,20 @@ public:
     /// gated/searched (fewer complete if cancelled).
     virtual void on_explore_begin(std::size_t total_scalings);
 
-    /// One scaling combination finished (in completion order).
+    /// One scaling combination finished (in completion order). The
+    /// streamed outcome is the worker's live view: with pruning on, a
+    /// combination reported `feasible` here can still be dropped from
+    /// the final feasible_points when the deterministic merge replay
+    /// proves it dominated (its design never reaches the front or the
+    /// pick either way).
     virtual void on_scaling_done(const ScalingProgress& progress);
 
-    /// A new best-so-far feasible design (minimum power, Gamma
-    /// tie-break — the paper's selection rule applied to completion
-    /// order).
+    /// A new best-so-far feasible design: the paper's selection rule
+    /// (minimum power, Gamma tie-break) applied to the Pareto front of
+    /// everything completed so far. Because dominated designs never
+    /// move a Pareto front, the last streamed incumbent equals the
+    /// final `best` bit-for-bit at any thread count, pruned or not
+    /// (absent cancellation).
     virtual void on_incumbent(const DsePoint& incumbent);
 
     /// Exploration finished; `result` is the value explore() returns.

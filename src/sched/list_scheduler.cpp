@@ -214,19 +214,33 @@ double tm_lower_bound_seconds(const TaskGraph& graph, const MpsocArchitecture& a
         fastest = std::max(fastest, f);
         total_rate += f;
     }
-    // Latency bound: the no-communication critical path of one
-    // iteration cannot beat the fastest core's clock...
-    const double latency_bound =
-        static_cast<double>(graph.critical_path_cycles(false)) / batches / fastest;
-    // ...and throughput cannot beat all cores working flat out.
-    const double work_bound = static_cast<double>(graph.total_exec_cycles()) / total_rate;
-    // Pipelined completion combines both: latency for the first
-    // iteration, bottleneck throughput for the rest. The biggest
-    // single task also floors the initiation interval.
     std::uint64_t biggest_task = 0;
     for (TaskId t = 0; t < graph.task_count(); ++t)
         biggest_task = std::max(biggest_task, graph.task(t).exec_cycles);
-    const double ii_bound = static_cast<double>(biggest_task) / batches / fastest;
+    return tm_lower_bound_from_aggregates(
+        static_cast<double>(graph.critical_path_cycles(false)),
+        static_cast<double>(graph.total_exec_cycles()), static_cast<double>(biggest_task),
+        batches, fastest, total_rate);
+}
+
+double tm_lower_bound_from_aggregates(double critical_path_cycles, double total_exec_cycles,
+                                      double biggest_task_cycles, double batches,
+                                      double fastest_hz, double total_rate_hz) {
+    // Latency bound: the no-communication critical path of one
+    // iteration cannot beat the fastest core's clock...
+    const double latency_bound = critical_path_cycles / batches / fastest_hz;
+    // ...and throughput cannot beat all cores working flat out.
+    const double work_bound = total_exec_cycles / total_rate_hz;
+    // Pipelined completion combines both: latency for the first
+    // iteration, bottleneck throughput for the rest. The initiation
+    // interval is floored by the biggest single task (atomic, on the
+    // fastest core) and by the per-iteration work spread over every
+    // core working flat out — the latter is what work_bound measures,
+    // but adding the first iteration's latency on top of (B-1)
+    // intervals is strictly stronger than B intervals alone whenever
+    // the critical path exceeds one balanced interval.
+    const double ii_bound =
+        std::max(biggest_task_cycles / batches / fastest_hz, work_bound / batches);
     return std::max({latency_bound + (batches - 1.0) * ii_bound, work_bound, latency_bound});
 }
 

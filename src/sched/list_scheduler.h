@@ -107,8 +107,19 @@ double tm_estimate_eq6_seconds(const TaskGraph& graph, const Mapping& mapping,
 
 /// Lower bound on achievable T_M at a given scaling, over all mappings:
 /// max(critical-path latency on the fastest used core, total work
-/// spread over all cores). Used by the DSE to skip hopeless scalings.
+/// spread over all cores, pipelined latency + (B-1) initiation
+/// intervals). Used by the DSE to skip hopeless scalings.
 double tm_lower_bound_seconds(const TaskGraph& graph, const MpsocArchitecture& arch,
                               const ScalingVector& levels);
+
+/// The same bound from pre-aggregated scalars — one formula shared by
+/// the feasibility gate above and the branch-and-bound bounds
+/// (core/scaling_bounds.cpp evaluates it per powered-core case, where
+/// only the chosen cores' rates count), so gate and bound model can
+/// never drift apart. Cycle quantities are whole-run totals; rates in
+/// Hz. `fastest_hz` / `total_rate_hz` must be positive.
+double tm_lower_bound_from_aggregates(double critical_path_cycles, double total_exec_cycles,
+                                      double biggest_task_cycles, double batches,
+                                      double fastest_hz, double total_rate_hz);
 
 } // namespace seamap

@@ -1,0 +1,31 @@
+// The project's one definition of "these two floats are the same
+// design metric". Both the Pareto-front dedup (core/dse.cpp) and the
+// bound-driven pruning (core/scaling_bounds.h consumers) must agree on
+// the comparison to the last bit — a second, slightly different
+// epsilon would let a point survive the front in one code path and be
+// pruned in the other, breaking the pruned == exhaustive guarantee.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace seamap {
+
+/// Symmetric relative comparison. Purely relative: the epsilon scales
+/// with max(|a|, |b|) and nothing else, so degenerate near-zero
+/// metrics (a 0-power design vs. a 1e-12-power design) stay distinct
+/// instead of collapsing under an absolute floor. Exact equality
+/// (including 0 == 0) still compares equal.
+inline bool nearly_equal(double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max(std::abs(a), std::abs(b));
+}
+
+/// The paper's step-3 "equal power" window: a and b count as tied when
+/// they agree within the relative tolerance `tie` (the
+/// DseParams::power_tie_tolerance knob). Shared by the best-design
+/// fold and the streamed incumbent so both apply the same rule.
+inline bool within_relative_tie(double a, double b, double tie) {
+    return std::abs(a - b) <= tie * std::max(a, b);
+}
+
+} // namespace seamap

@@ -24,10 +24,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+    submit(k_default_priority, std::move(job));
+}
+
+void ThreadPool::submit(std::uint64_t priority, std::function<void()> job) {
     {
         std::unique_lock lock(mutex_);
         if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-        queue_.push_back(std::move(job));
+        queue_.push_back(QueuedJob{priority, next_sequence_++, std::move(job)});
+        std::push_heap(queue_.begin(), queue_.end());
     }
     work_available_.notify_one();
 }
@@ -56,8 +61,9 @@ void ThreadPool::worker_loop() {
             std::unique_lock lock(mutex_);
             work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
             if (queue_.empty()) return; // stopping_ and drained
-            job = std::move(queue_.front());
-            queue_.pop_front();
+            std::pop_heap(queue_.begin(), queue_.end());
+            job = std::move(queue_.back().job);
+            queue_.pop_back();
             ++in_flight_;
         }
         try {

@@ -1,14 +1,18 @@
 // Minimal fixed-size worker pool for the embarrassingly parallel parts
 // of the explorer (one independent mapping search per scaling
-// combination). Jobs are plain std::function<void()>; the pool makes no
-// ordering promises, so callers that need deterministic output must
-// write results into pre-assigned slots and merge them in a fixed order
-// afterwards (see DesignSpaceExplorer::explore).
+// combination). Jobs are plain std::function<void()>; idle workers pick
+// the lowest-priority-value job first (FIFO among equal priorities, and
+// plain submit() enqueues at the default priority), which is how the
+// branch-and-bound explorer runs scaling searches best-first by power
+// bound. Completion order is still whatever the workers make of it, so
+// callers that need deterministic output must write results into
+// pre-assigned slots and merge them in a fixed order afterwards (see
+// DesignSpaceExplorer::explore).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <future>
@@ -34,8 +38,17 @@ public:
 
     std::size_t thread_count() const { return workers_.size(); }
 
-    /// Enqueue one job. Throws if called after the destructor started.
+    /// Priority of jobs submitted without an explicit one.
+    static constexpr std::uint64_t k_default_priority = std::uint64_t(1) << 63;
+
+    /// Enqueue one job at the default priority. Throws if called after
+    /// the destructor started.
     void submit(std::function<void()> job);
+
+    /// Enqueue one job with an explicit priority; idle workers run the
+    /// smallest priority value first, FIFO among equal values. A job
+    /// already running is never preempted.
+    void submit(std::uint64_t priority, std::function<void()> job);
 
     /// Enqueue a job and get its result (or exception) back through a
     /// future. A task that throws surfaces the exception via
@@ -64,12 +77,27 @@ public:
     static std::size_t resolve_thread_count(std::size_t configured);
 
 private:
+    /// Heap entry: ordered by (priority, submission sequence) so equal
+    /// priorities run FIFO.
+    struct QueuedJob {
+        std::uint64_t priority = k_default_priority;
+        std::uint64_t sequence = 0;
+        std::function<void()> job;
+
+        bool operator<(const QueuedJob& other) const {
+            // std::push_heap builds a max-heap; invert for min-first.
+            if (priority != other.priority) return priority > other.priority;
+            return sequence > other.sequence;
+        }
+    };
+
     void worker_loop();
 
     std::mutex mutex_;
     std::condition_variable work_available_;
     std::condition_variable all_idle_;
-    std::deque<std::function<void()>> queue_;
+    std::vector<QueuedJob> queue_; ///< binary heap via std::push_heap/pop_heap
+    std::uint64_t next_sequence_ = 0;
     std::vector<std::thread> workers_;
     std::exception_ptr first_error_;
     std::size_t in_flight_ = 0;

@@ -21,6 +21,17 @@ TEST(PowerModel, CoreActivePowerFollowsEq1) {
     EXPECT_NEAR(model.core_active_power_mw(3), 0.774787, 1e-5);
 }
 
+TEST(PowerModel, EnergyPerCycleIsActivePowerOverFrequency) {
+    const PowerModel model = make_model(60e-12);
+    // mW / Hz at nominal: 12 mW / 200e6 Hz; proportional to Vdd^2, so
+    // the slower levels are cheaper per cycle (that monotonicity is
+    // what the branch-and-bound power bound's knapsack exploits).
+    EXPECT_NEAR(model.core_energy_per_cycle_mws(1), 12.0 / 200e6, 1e-18);
+    EXPECT_NEAR(model.core_energy_per_cycle_mws(2), 2.0184 / 100e6, 1e-14);
+    EXPECT_LT(model.core_energy_per_cycle_mws(3), model.core_energy_per_cycle_mws(2));
+    EXPECT_LT(model.core_energy_per_cycle_mws(2), model.core_energy_per_cycle_mws(1));
+}
+
 TEST(PowerModel, VoltageScalingSavesSuperlinearly) {
     const PowerModel model = make_model();
     // f*V^2 scaling: level 2 must save more than the 2x frequency cut.

@@ -1,0 +1,179 @@
+// Soundness harness for the branch-and-bound lower bounds
+// (core/scaling_bounds.h): on instances small enough to enumerate the
+// COMPLETE mapping space, no bound may ever exceed what some feasible
+// design actually achieves — bounds_for() must sit at or below the
+// exhaustive per-scaling optimum in each objective, and every feasible
+// design must be pointwise >= the bound pair of some powered-core
+// case. These are the invariants the explorer's prune soundness
+// (pruned best/pareto_front bit-identical to exhaustive) rests on.
+#include "core/scaling_bounds.h"
+
+#include "arch/scaling_enumerator.h"
+#include "reliability/design_eval.h"
+#include "sched/list_scheduler.h"
+#include "taskgraph/fig8.h"
+#include "tgff/random_graph.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+/// Every complete mapping of `graph` onto `cores` cores (cores^tasks —
+/// keep the instances tiny).
+std::vector<Mapping> all_mappings(const TaskGraph& graph, std::size_t cores) {
+    std::vector<Mapping> mappings;
+    Mapping current(graph.task_count(), cores);
+    std::vector<std::size_t> digits(graph.task_count(), 0);
+    for (;;) {
+        for (TaskId t = 0; t < graph.task_count(); ++t)
+            current.assign(t, static_cast<CoreId>(digits[t]));
+        mappings.push_back(current);
+        std::size_t d = 0;
+        while (d < digits.size() && digits[d] == cores - 1) digits[d++] = 0;
+        if (d == digits.size()) break;
+        ++digits[d];
+    }
+    return mappings;
+}
+
+struct ExhaustiveCheck {
+    std::size_t scalings_with_feasible = 0;
+    std::size_t feasible_designs = 0;
+};
+
+/// Core of the harness: for every scaling combination, evaluate every
+/// mapping and require (a) the scalar corner never beats the true
+/// optima and (b) each feasible design dominates some case pair.
+ExhaustiveCheck check_bounds_sound(const TaskGraph& graph, const MpsocArchitecture& arch,
+                                   double deadline_seconds, const SerModel& ser,
+                                   ExposurePolicy policy) {
+    const ScalingBoundsModel model(graph, arch, deadline_seconds, ser, policy);
+    const std::vector<Mapping> mappings = all_mappings(graph, arch.core_count());
+    ExhaustiveCheck counts;
+
+    ScalingEnumerator enumerator(arch.core_count(), arch.scaling_table().level_count());
+    while (auto levels = enumerator.next()) {
+        const ScalingBounds corner = model.bounds_for(*levels);
+        const std::vector<ScalingBounds> cases = model.case_bounds_for(*levels);
+        const EvaluationContext ctx{graph, arch, *levels, SeuEstimator(ser, policy),
+                                    deadline_seconds};
+        double best_power = std::numeric_limits<double>::infinity();
+        double best_gamma = std::numeric_limits<double>::infinity();
+        for (const Mapping& mapping : mappings) {
+            const DesignMetrics metrics = evaluate_design(ctx, mapping);
+            if (!metrics.feasible) continue;
+            ++counts.feasible_designs;
+            best_power = std::min(best_power, metrics.power_mw);
+            best_gamma = std::min(best_gamma, metrics.gamma);
+            // (b): the case of the powered-core set this design uses
+            // must admit it. We do not reconstruct the powered set —
+            // existence of ANY pointwise-dominated case is the
+            // property the explorer's prune test relies on.
+            bool admitted = false;
+            for (const ScalingBounds& bounds : cases)
+                if (bounds.power_mw_lb <= metrics.power_mw &&
+                    bounds.gamma_lb <= metrics.gamma) {
+                    admitted = true;
+                    break;
+                }
+            EXPECT_TRUE(admitted)
+                << "design (P=" << metrics.power_mw << ", G=" << metrics.gamma
+                << ") beats every case bound pair";
+        }
+        if (!std::isinf(best_power)) {
+            ++counts.scalings_with_feasible;
+            EXPECT_LE(corner.power_mw_lb, best_power)
+                << "power bound above the exhaustive optimum";
+            EXPECT_LE(corner.gamma_lb, best_gamma)
+                << "gamma bound above the exhaustive optimum";
+        }
+    }
+    return counts;
+}
+
+TEST(ScalingBounds, SoundOnFig8TwoCores) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_three_level());
+    const double deadline = 1.4 * tm_lower_bound_seconds(graph, arch, {1, 1});
+    const ExhaustiveCheck counts = check_bounds_sound(graph, arch, deadline, SerModel{},
+                                                      ExposurePolicy::full_duration);
+    EXPECT_GT(counts.scalings_with_feasible, 0u);
+    EXPECT_GT(counts.feasible_designs, 0u);
+}
+
+TEST(ScalingBounds, SoundOnFig8BusyOnlyExposure) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_three_level());
+    const double deadline = 1.6 * tm_lower_bound_seconds(graph, arch, {1, 1});
+    const ExhaustiveCheck counts = check_bounds_sound(graph, arch, deadline, SerModel{},
+                                                      ExposurePolicy::busy_only);
+    EXPECT_GT(counts.scalings_with_feasible, 0u);
+}
+
+TEST(ScalingBounds, SoundOnSmallTgffThreeCores) {
+    TgffParams params;
+    params.task_count = 7;
+    params.batch_count = 1;
+    const TaskGraph graph = generate_tgff_graph(params, 11);
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const double deadline = 1.5 * tm_lower_bound_seconds(graph, arch, {1, 1, 1});
+    const ExhaustiveCheck counts = check_bounds_sound(graph, arch, deadline, SerModel{},
+                                                      ExposurePolicy::full_duration);
+    EXPECT_GT(counts.scalings_with_feasible, 0u);
+}
+
+TEST(ScalingBounds, SoundOnPipelinedBatchesWithFourLevels) {
+    // Batched graph exercising the pipelined capacity refinement
+    // (T_M = L + (B-1)*II) and a four-level ladder, under a steep SER
+    // law so the tier telescoping carries real weight.
+    TgffParams params;
+    params.task_count = 6;
+    params.batch_count = 16;
+    const TaskGraph graph = generate_tgff_graph(params, 3);
+    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_four_level());
+    SerParams ser_params;
+    ser_params.voltage_exponent_k = 4.0;
+    const double deadline = 2.5 * tm_lower_bound_seconds(graph, arch, {1, 1});
+    const ExhaustiveCheck counts = check_bounds_sound(graph, arch, deadline,
+                                                      SerModel{ser_params},
+                                                      ExposurePolicy::full_duration);
+    EXPECT_GT(counts.scalings_with_feasible, 0u);
+}
+
+TEST(ScalingBounds, InfeasibleDeadlineKeepsBoundsHarmless) {
+    // With a deadline nothing can meet, whatever the bounds say must
+    // never matter; they still must be finite and non-negative.
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(2, VoltageScalingTable::arm7_three_level());
+    const ScalingBoundsModel model(graph, arch, 1e-9, SerModel{},
+                                   ExposurePolicy::full_duration);
+    const ScalingBounds bounds = model.bounds_for({1, 1});
+    EXPECT_GE(bounds.power_mw_lb, 0.0);
+    EXPECT_GE(bounds.gamma_lb, 0.0);
+    EXPECT_TRUE(std::isfinite(bounds.power_mw_lb));
+    EXPECT_TRUE(std::isfinite(bounds.gamma_lb));
+}
+
+TEST(ScalingBounds, CornerIsPointwiseMinOverCases) {
+    const TaskGraph graph = fig8_example_graph();
+    const MpsocArchitecture arch(3, VoltageScalingTable::arm7_three_level());
+    const double deadline = 1.5 * tm_lower_bound_seconds(graph, arch, {1, 1, 1});
+    const ScalingBoundsModel model(graph, arch, deadline, SerModel{},
+                                   ExposurePolicy::full_duration);
+    ScalingEnumerator enumerator(3, 3);
+    while (auto levels = enumerator.next()) {
+        const ScalingBounds corner = model.bounds_for(*levels);
+        const auto cases = model.case_bounds_for(*levels);
+        for (const ScalingBounds& bounds : cases) {
+            EXPECT_LE(corner.power_mw_lb, bounds.power_mw_lb);
+            EXPECT_LE(corner.gamma_lb, bounds.gamma_lb);
+        }
+    }
+}
+
+} // namespace
+} // namespace seamap

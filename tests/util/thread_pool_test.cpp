@@ -66,6 +66,45 @@ TEST(ThreadPool, PlainSubmitStillReportsThroughWaitIdle) {
     EXPECT_EQ(after.get(), 7);
 }
 
+TEST(ThreadPool, PrioritySubmissionRunsLowestValueFirst) {
+    // One worker, blocked on a gate job while jobs with shuffled
+    // priorities queue up; after the gate opens they must run in
+    // ascending priority order (FIFO among equal priorities).
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    pool.submit(0, [opened] { opened.wait(); });
+    std::mutex order_mutex;
+    std::vector<int> order;
+    for (const int priority : {5, 3, 9, 1, 3}) {
+        pool.submit(static_cast<std::uint64_t>(priority), [priority, &order, &order_mutex] {
+            std::lock_guard lock(order_mutex);
+            order.push_back(priority);
+        });
+    }
+    gate.set_value();
+    pool.wait_idle();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 3, 5, 9}));
+}
+
+TEST(ThreadPool, PlainSubmitKeepsFifoOrder) {
+    // Default-priority jobs behave like the historical FIFO queue.
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    pool.submit([opened] { opened.wait(); });
+    std::mutex order_mutex;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        pool.submit([i, &order, &order_mutex] {
+            std::lock_guard lock(order_mutex);
+            order.push_back(i);
+        });
+    gate.set_value();
+    pool.wait_idle();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
 TEST(ThreadPool, ZeroResolvesToHardwareConcurrencyInOnePlace) {
     EXPECT_EQ(ThreadPool::resolve_thread_count(0), ThreadPool::hardware_threads());
     EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1u);

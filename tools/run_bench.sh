@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
 # Run the bench_micro Google Benchmark harness and emit a JSON baseline
-# for the perf trajectory (uploaded as a CI artifact from PR 3 onward).
+# for the perf trajectory (committed at the repo root / uploaded as a
+# CI artifact from PR 3 onward).
 #
-#   tools/run_bench.sh [build-dir] [output.json]
+#   tools/run_bench.sh [build-dir] [output.json | PR-number]
 #
-# Defaults: build directory `build`, output `<build-dir>/BENCH_3.json`.
+# The second argument is either an output path (anything containing a
+# '/' or ending in .json) or a bare PR number N, which resolves to
+# <build-dir>/BENCH_N.json. Defaults: build directory `build`, PR
+# number ${BENCH_PR:-4} (the current perf-trajectory point).
 # Pass BENCH_FILTER to restrict which benchmarks run, e.g.
-#   BENCH_FILTER='bm_sa_neighborhood_step|bm_eval' tools/run_bench.sh
+#   BENCH_FILTER='bm_explore_prunable|bm_eval' tools/run_bench.sh
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-${BUILD_DIR}/BENCH_3.json}"
+BENCH_PR="${BENCH_PR:-4}"
+SPEC="${2:-${BENCH_PR}}"
+if [[ "${SPEC}" == */* || "${SPEC}" == *.json ]]; then
+    OUT="${SPEC}"
+else
+    OUT="${BUILD_DIR}/BENCH_${SPEC}.json"
+fi
 FILTER="${BENCH_FILTER:-}"
 
 if [[ ! -d "${BUILD_DIR}" ]]; then

@@ -103,11 +103,13 @@ void print_usage(std::ostream& out) {
         "  optimize <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
         "           [--strategy " << join(search_strategy_names(), "|") << "]\n"
         "           [--iterations I] [--seed S] [--threads W] [--all-cores]\n"
-        "           [--json] [--dot out.dot] [--gantt]\n"
-        "           full Fig. 4 DSE; prints the chosen design and the Pareto front\n"
+        "           [--no-prune] [--multi-start K] [--json] [--dot out.dot] [--gantt]\n"
+        "           full Fig. 4 DSE (bound-driven branch and bound; --no-prune\n"
+        "           forces the exhaustive sweep, same best/front either way);\n"
+        "           prints the chosen design and the Pareto front\n"
         "  inject <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
         "           [--strategy NAME] [--iterations I] [--trials T] [--seed S]\n"
-        "           [--threads W] [--json]\n"
+        "           [--threads W] [--no-prune] [--multi-start K] [--json]\n"
         "           optimize, then run a Poisson SEU fault-injection campaign\n"
         "  version | --version\n"
         "           print the library version\n"
@@ -258,6 +260,8 @@ int cmd_optimize(const ArgList& args) {
     options.dse.search.seed = args.u64("--seed", 1);
     options.dse.search.require_all_cores = args.flag("--all-cores");
     options.dse.num_threads = args.u64("--threads", 1);
+    options.dse.prune = !args.flag("--no-prune");
+    options.dse.multi_start = args.u64("--multi-start", 1);
     const DseResult result = explore(problem, options);
 
     // --dot is a file side-effect, so it composes with --json (the
@@ -288,7 +292,8 @@ int cmd_optimize(const ArgList& args) {
     std::cout << "deadline " << fmt_double(problem.deadline_seconds(), 3)
               << " s | strategy " << options.strategy << " | scalings searched "
               << result.scalings_searched << "/" << result.scalings_enumerated << " ("
-              << result.scalings_skipped_infeasible << " skipped)\n";
+              << result.scalings_skipped_infeasible << " skipped, "
+              << result.scalings_pruned << " pruned)\n";
     if (!result.best) {
         std::cerr << "no feasible design — loosen --deadline or add cores\n";
         return 1;
@@ -341,6 +346,8 @@ int cmd_inject(const ArgList& args) {
     options.dse.search.max_iterations = args.u64("--iterations", 4'000);
     options.dse.search.seed = seed;
     options.dse.num_threads = args.u64("--threads", 1);
+    options.dse.prune = !args.flag("--no-prune");
+    options.dse.multi_start = args.u64("--multi-start", 1);
     const DseResult result = explore(problem, options);
     // One JSON shape for both outcomes: design null (and no "seu"
     // block) when nothing feasible exists, so consumers parse a stable
