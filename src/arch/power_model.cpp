@@ -1,5 +1,7 @@
 #include "arch/power_model.h"
 
+#include "util/float_compare.h"
+
 #include <stdexcept>
 
 namespace seamap {
@@ -32,7 +34,7 @@ double PowerModel::mpsoc_power_mw(std::span<const ScalingLevel> levels,
         const double util = utilizations[i];
         if (util < 0.0 || util > 1.0 + 1e-9)
             throw std::invalid_argument("PowerModel: utilization outside [0, 1]");
-        if (util == 0.0) continue; // power-gated: no tasks mapped
+        if (exactly_zero(util)) continue; // power-gated: no tasks mapped
         const double activity = util + params_.idle_activity * (1.0 - util);
         total += core_active_power_mw(levels[i]) * activity;
     }
@@ -48,7 +50,7 @@ double PowerModel::mpsoc_power_mw_precomputed(std::span<const double> core_activ
         const double util = utilizations[i];
         if (util < 0.0 || util > 1.0 + 1e-9)
             throw std::invalid_argument("PowerModel: utilization outside [0, 1]");
-        if (util == 0.0) continue; // power-gated: no tasks mapped
+        if (exactly_zero(util)) continue; // power-gated: no tasks mapped
         const double activity = util + params_.idle_activity * (1.0 - util);
         total += core_active_mw[i] * activity;
     }

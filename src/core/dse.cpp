@@ -42,12 +42,12 @@ struct ScalingOutcome {
 bool better_start(const LocalSearchResult& a, const LocalSearchResult& b) {
     if (a.found_feasible != b.found_feasible) return a.found_feasible;
     if (a.found_feasible) {
-        if (a.best_metrics.gamma != b.best_metrics.gamma)
+        if (!exactly_equal(a.best_metrics.gamma, b.best_metrics.gamma))
             return a.best_metrics.gamma < b.best_metrics.gamma;
-        if (a.best_metrics.power_mw != b.best_metrics.power_mw)
+        if (!exactly_equal(a.best_metrics.power_mw, b.best_metrics.power_mw))
             return a.best_metrics.power_mw < b.best_metrics.power_mw;
     }
-    if (a.best_metrics.tm_seconds != b.best_metrics.tm_seconds)
+    if (!exactly_equal(a.best_metrics.tm_seconds, b.best_metrics.tm_seconds))
         return a.best_metrics.tm_seconds < b.best_metrics.tm_seconds;
     return a.best_mapping.raw() < b.best_mapping.raw();
 }
@@ -73,7 +73,7 @@ public:
                                    std::pair<double, double>{power, -1.0});
         if (at != points_.begin() && std::prev(at)->second <= gamma)
             return; // weakly dominated by a cheaper point
-        if (at != points_.end() && at->first == power && at->second <= gamma)
+        if (at != points_.end() && exactly_equal(at->first, power) && at->second <= gamma)
             return; // weakly dominated at equal power
         auto last = at;
         while (last != points_.end() && last->second >= gamma) ++last;
@@ -188,8 +188,8 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
             incumbent &&
             (!observed_best || incumbent->levels != observed_best->levels ||
              incumbent->mapping != observed_best->mapping ||
-             incumbent->metrics.power_mw != observed_best->metrics.power_mw ||
-             incumbent->metrics.gamma != observed_best->metrics.gamma);
+             !exactly_equal(incumbent->metrics.power_mw, observed_best->metrics.power_mw) ||
+             !exactly_equal(incumbent->metrics.gamma, observed_best->metrics.gamma));
         if (changed) {
             observed_best = std::move(incumbent);
             observer->on_incumbent(*observed_best);
@@ -243,7 +243,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
             slots.push_back(std::move(slot));
         }
         std::sort(slots.begin(), slots.end(), [](const SearchSlot& a, const SearchSlot& b) {
-            if (a.bounds.power_mw_lb != b.bounds.power_mw_lb)
+            if (!exactly_equal(a.bounds.power_mw_lb, b.bounds.power_mw_lb))
                 return a.bounds.power_mw_lb < b.bounds.power_mw_lb;
             return a.combo < b.combo;
         });
@@ -456,9 +456,10 @@ std::vector<DsePoint> pareto_front_of(const std::vector<DsePoint>& points) {
     std::sort(order.begin(), order.end(), [&](std::size_t ia, std::size_t ib) {
         const DsePoint& a = points[ia];
         const DsePoint& b = points[ib];
-        if (a.metrics.power_mw != b.metrics.power_mw)
+        if (!exactly_equal(a.metrics.power_mw, b.metrics.power_mw))
             return a.metrics.power_mw < b.metrics.power_mw;
-        if (a.metrics.gamma != b.metrics.gamma) return a.metrics.gamma < b.metrics.gamma;
+        if (!exactly_equal(a.metrics.gamma, b.metrics.gamma))
+            return a.metrics.gamma < b.metrics.gamma;
         if (a.levels != b.levels) return a.levels < b.levels;
         return a.mapping.raw() < b.mapping.raw();
     });
@@ -469,7 +470,7 @@ std::vector<DsePoint> pareto_front_of(const std::vector<DsePoint>& points) {
         std::size_t group_end = group;
         const double group_power = points[order[group]].metrics.power_mw;
         while (group_end < order.size() &&
-               points[order[group_end]].metrics.power_mw == group_power)
+               exactly_equal(points[order[group_end]].metrics.power_mw, group_power))
             ++group_end;
         // Within an equal-power group the sort put minimum gamma first.
         const double group_min_gamma = points[order[group]].metrics.gamma;

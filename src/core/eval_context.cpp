@@ -5,6 +5,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+// This file is the zero-steady-state-allocation evaluation engine: the
+// marker below arms seamap_lint's hot-path-alloc rule, so any
+// allocation-shaped call added outside the explicitly allowed setup
+// regions fails `make lint` (and tests/core/eval_context_alloc_test.cpp
+// enforces the same property at runtime via the operator-new guard).
+// seamap-lint: hot-path
+
 namespace seamap {
 
 NeighborOp random_neighbor_op(Mapping& mapping, Rng& rng, double swap_probability,
@@ -47,6 +54,9 @@ NeighborOp random_neighbor_op(Mapping& mapping, Rng& rng, double swap_probabilit
     return op;
 }
 
+// seamap-lint: push-allow(hot-path-alloc) -- constructor: one-time
+// per-scaling precomputation and scratch sizing; nothing here runs in
+// the steady-state evaluation loop
 EvalContext::EvalContext(const EvaluationContext& ctx, EvalOptions options)
     : ctx_(ctx), options_(options) {
     ctx_.arch.validate_scaling(ctx_.levels);
@@ -100,6 +110,7 @@ EvalContext::EvalContext(const EvaluationContext& ctx, EvalOptions options)
     base_union_.assign(cores_, RegisterSet(universe));
     core_tasks_.resize(cores_);
 }
+// seamap-lint: pop-allow(hot-path-alloc)
 
 void EvalContext::check_mapping(const Mapping& mapping) const {
     if (mapping.task_count() != n_)
@@ -173,6 +184,10 @@ DesignMetrics EvalContext::evaluate_full(const Mapping& mapping, bool record) {
         std::copy(register_bits_.begin(), register_bits_.end(), base_bits_.begin());
         for (std::size_t c = 0; c < cores_; ++c) base_union_[c] = union_scratch_[c];
         for (std::size_t c = 0; c < cores_; ++c) core_tasks_[c].clear();
+        // clear() keeps each per-core list's capacity, so these pushes
+        // stop allocating once the lists have reached their high-water
+        // mark — rebase() is the recorded (non-steady-state) pass.
+        // seamap-lint: allow(hot-path-alloc) -- capacity reused across rebases
         for (TaskId t = 0; t < n_; ++t) core_tasks_[core_of[t]].push_back(t);
     }
     return finish_metrics(latency);
@@ -444,6 +459,10 @@ const DesignMetrics* EvalContext::memo_find(std::uint64_t hash, const CoreId* ke
     }
 }
 
+// seamap-lint: push-allow(hot-path-alloc) -- memo-table growth is the
+// documented exception to the zero-allocation steady state: inserts
+// amortize across the walk and stop entirely at memo_capacity; lookups
+// (the hit path) never allocate
 void EvalContext::memo_insert(std::uint64_t hash, const CoreId* key,
                               const DesignMetrics& metrics) {
     if (memo_entries_.size() >= options_.memo_capacity) return;
@@ -468,5 +487,6 @@ void EvalContext::memo_insert(std::uint64_t hash, const CoreId* key,
     memo_slots_[i] = static_cast<std::uint32_t>(memo_entries_.size());
     stats_.memo_entries = memo_entries_.size();
 }
+// seamap-lint: pop-allow(hot-path-alloc)
 
 } // namespace seamap

@@ -1,6 +1,7 @@
 #include "core/initial_mapping.h"
 
 #include "reliability/register_usage.h"
+#include "util/float_compare.h"
 
 #include <algorithm>
 #include <deque>
@@ -52,7 +53,7 @@ struct CandidateScore {
     double busy_seconds = 0.0;
 
     bool operator<(const CandidateScore& other) const {
-        if (gamma != other.gamma) return gamma < other.gamma;
+        if (!exactly_equal(gamma, other.gamma)) return gamma < other.gamma;
         return busy_seconds < other.busy_seconds;
     }
 };

@@ -34,12 +34,12 @@ ScalingBoundsModel::ScalingBoundsModel(const TaskGraph& graph, const MpsocArchit
     union_bits_all_ = graph.union_register_bits(all_tasks);
     min_task_bits_ = std::numeric_limits<std::uint64_t>::max();
     for (TaskId t = 0; t < graph.task_count(); ++t) {
-        const std::uint64_t bits = graph.task_register_bits(t);
+        const std::uint64_t task_bits = graph.task_register_bits(t);
         const double exec = static_cast<double>(graph.task(t).exec_cycles);
-        min_task_bits_ = std::min(min_task_bits_, bits);
+        min_task_bits_ = std::min(min_task_bits_, task_bits);
         biggest_task_cycles_ = std::max(biggest_task_cycles_, exec);
-        bits_times_cycles_ += static_cast<double>(bits) * exec;
-        if (bits == 0) cycles_without_registers_ += exec;
+        bits_times_cycles_ += static_cast<double>(task_bits) * exec;
+        if (task_bits == 0) cycles_without_registers_ += exec;
     }
     if (graph.task_count() == 0) min_task_bits_ = 0;
 

@@ -1,5 +1,10 @@
 #include "reliability/seu_estimator.h"
 
+// estimate_into() is the hot variant design_eval's scoring loop calls
+// per candidate; the marker arms seamap_lint's hot-path-alloc rule so
+// new allocation-shaped calls in this file fail `make lint`.
+// seamap-lint: hot-path
+
 namespace seamap {
 
 SeuEstimator::SeuEstimator(SerModel ser, ExposurePolicy policy)
@@ -24,6 +29,8 @@ void SeuEstimator::estimate_into(const TaskGraph& graph, const Mapping& mapping,
     arch.validate_scaling(levels);
     const auto register_bits = per_core_register_bits(graph, mapping, arch.core_count());
 
+    // assign() reuses the caller's preallocated breakdown buffer; it
+    // only grows on the first call for a given core count.
     out.per_core.assign(arch.core_count(), 0.0);
     out.total = 0.0;
     for (std::size_t c = 0; c < arch.core_count(); ++c) {

@@ -28,4 +28,26 @@ inline bool within_relative_tie(double a, double b, double tie) {
     return std::abs(a - b) <= tie * std::max(a, b);
 }
 
+// The two helpers below are the sanctioned spelling of *bit-exact*
+// float comparison. The determinism total orders (better_start, the
+// Pareto sort, the dominance staircase) and exact sentinel checks
+// (0.0 = "power-gated", 0.0 = "no budget") are deliberately not
+// tolerant: a tolerance there would let two distinct designs compare
+// equal in one code path and distinct in another, breaking the
+// pruned == exhaustive and thread-count-invariance guarantees. The
+// seamap_lint `float-eq` rule bans raw ==/!= on floats everywhere
+// else, so every exact comparison in the tree is greppable by name.
+
+/// Bit-exact equality, visibly on purpose. NaN compares unequal to
+/// everything, exactly like the raw operator.
+inline bool exactly_equal(double a, double b) {
+    return a == b; // the one sanctioned raw float ==
+}
+
+/// Bit-exact test against positive zero (also true for -0.0, exactly
+/// like `x == 0.0`).
+inline bool exactly_zero(double x) {
+    return x == 0.0; // the one sanctioned raw float == 0.0
+}
+
 } // namespace seamap

@@ -87,10 +87,10 @@ void JsonValue::write(std::string& out, int indent, int depth) const {
             return;
         }
         out += '[';
-        for (std::size_t i = 0; i < array->size(); ++i) {
-            if (i > 0) out += ',';
+        for (std::size_t idx = 0; idx < array->size(); ++idx) {
+            if (idx > 0) out += ',';
             if (pretty) newline_pad(depth + 1);
-            (*array)[i].write(out, indent, depth + 1);
+            (*array)[idx].write(out, indent, depth + 1);
         }
         if (pretty) newline_pad(depth);
         out += ']';
@@ -101,13 +101,13 @@ void JsonValue::write(std::string& out, int indent, int depth) const {
             return;
         }
         out += '{';
-        for (std::size_t i = 0; i < object.size(); ++i) {
-            if (i > 0) out += ',';
+        for (std::size_t idx = 0; idx < object.size(); ++idx) {
+            if (idx > 0) out += ',';
             if (pretty) newline_pad(depth + 1);
             out += '"';
-            out += json_escape(object[i].first);
+            out += json_escape(object[idx].first);
             out += pretty ? "\": " : "\":";
-            object[i].second.write(out, indent, depth + 1);
+            object[idx].second.write(out, indent, depth + 1);
         }
         if (pretty) newline_pad(depth);
         out += '}';

@@ -1,5 +1,7 @@
 #include "util/rng.h"
 
+#include "util/float_compare.h"
+
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -42,7 +44,7 @@ double Rng::exponential(double mean) {
 std::uint64_t Rng::poisson(double mean) {
     if (mean < 0.0 || !std::isfinite(mean))
         throw std::invalid_argument("Rng::poisson: mean must be finite and >= 0");
-    if (mean == 0.0) return 0;
+    if (exactly_zero(mean)) return 0;
     // std::poisson_distribution<long long> is exact for any practical
     // mean, but becomes slow and numerically delicate at extreme means;
     // there a normal approximation is indistinguishable.

@@ -1,5 +1,7 @@
 #include "util/stats.h"
 
+#include "util/float_compare.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -70,7 +72,7 @@ double stdev_of(std::span<const double> xs) {
 }
 
 double percent_change(double value, double baseline) {
-    if (baseline == 0.0)
+    if (exactly_zero(baseline))
         throw std::invalid_argument("percent_change: baseline must be nonzero");
     return 100.0 * (value - baseline) / baseline;
 }

@@ -1,0 +1,208 @@
+// Concurrent-cancellation stress for the explorer (designed to run
+// under the tsan preset as well as un-sanitized): cancellation arrives
+// mid-exploration from another thread — at seeded points relative to
+// observer progress — while observers stream callbacks from worker
+// threads. After every cancelled run the partial DseResult must still
+// be internally consistent: counters add up, every feasible point is a
+// complete mapping with feasible metrics, the Pareto front is exactly
+// the front of the reported feasible set, and `best` obeys the paper's
+// minimum-power/Gamma-tie-break rule over that front.
+#include "seamap/seamap.h"
+
+#include "taskgraph/mpeg2.h"
+#include "util/float_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+Problem mpeg2_problem() {
+    return ProblemBuilder()
+        .graph(mpeg2_decoder_graph())
+        .architecture(4, VoltageScalingTable::arm7_three_level())
+        .deadline_seconds(mpeg2_deadline_seconds())
+        .build();
+}
+
+ExploreOptions stress_options(std::size_t threads) {
+    ExploreOptions options;
+    options.dse.search.max_iterations = 150;
+    options.dse.num_threads = threads;
+    return options;
+}
+
+/// Streams progress; after `cancel_after` scalings complete it trips
+/// the token and wakes anyone waiting on that event.
+class CancellingObserver final : public ProgressObserver {
+public:
+    CancellingObserver(CancellationToken& token, std::size_t cancel_after)
+        : token_(token), cancel_after_(cancel_after) {}
+
+    void on_explore_begin(std::size_t total_scalings) override { total_ = total_scalings; }
+
+    void on_scaling_done(const ScalingProgress& progress) override {
+        EXPECT_LT(progress.index, total_);
+        EXPECT_EQ(progress.total, total_);
+        const std::size_t done = ++scalings_done_;
+        if (done == cancel_after_) {
+            token_.request_stop();
+            std::lock_guard lock(mutex_);
+            cancelled_ = true;
+            cancelled_cv_.notify_all();
+        }
+    }
+
+    void on_incumbent(const DsePoint& incumbent) override {
+        // Incumbents only improve under the paper's selection rule.
+        if (have_incumbent_) {
+            EXPECT_LE(incumbent.metrics.power_mw,
+                      last_incumbent_.power_mw * (1.0 + 1e-12));
+        }
+        last_incumbent_ = incumbent.metrics;
+        have_incumbent_ = true;
+        ++incumbents_;
+    }
+
+    void on_explore_end(const DseResult&) override { ended_ = true; }
+
+    std::size_t scalings_done() const { return scalings_done_.load(); }
+    std::size_t incumbents() const { return incumbents_.load(); }
+    bool ended() const { return ended_.load(); }
+
+private:
+    CancellationToken& token_;
+    std::size_t cancel_after_;
+    std::size_t total_ = 0;
+    std::atomic<std::size_t> scalings_done_{0};
+    std::atomic<std::size_t> incumbents_{0};
+    std::atomic<bool> ended_{false};
+    // on_incumbent is serialized by the explorer, so these need no lock.
+    bool have_incumbent_ = false;
+    DesignMetrics last_incumbent_;
+    std::mutex mutex_;
+    std::condition_variable cancelled_cv_;
+    bool cancelled_ = false;
+};
+
+void expect_partial_result_valid(const DseResult& result, const Problem& problem) {
+    EXPECT_LE(result.scalings_enumerated, result.scalings_total);
+    EXPECT_EQ(result.scalings_skipped_infeasible + result.scalings_pruned +
+                  result.scalings_searched,
+              result.scalings_enumerated);
+    for (const DsePoint& point : result.feasible_points) {
+        EXPECT_TRUE(point.mapping.complete());
+        EXPECT_EQ(point.mapping.task_count(), problem.graph().task_count());
+        EXPECT_TRUE(point.metrics.feasible);
+        EXPECT_GT(point.metrics.power_mw, 0.0);
+        EXPECT_GT(point.metrics.gamma, 0.0);
+    }
+    // The reported front must be exactly the front of the reported
+    // feasible set (bit-identical metrics).
+    const std::vector<DsePoint> recomputed = pareto_front_of(result.feasible_points);
+    ASSERT_EQ(result.pareto_front.size(), recomputed.size());
+    for (std::size_t i = 0; i < recomputed.size(); ++i) {
+        EXPECT_TRUE(exactly_equal(result.pareto_front[i].metrics.power_mw,
+                                  recomputed[i].metrics.power_mw));
+        EXPECT_TRUE(exactly_equal(result.pareto_front[i].metrics.gamma,
+                                  recomputed[i].metrics.gamma));
+    }
+    if (result.feasible_points.empty()) {
+        EXPECT_FALSE(result.best.has_value());
+        EXPECT_TRUE(result.pareto_front.empty());
+        return;
+    }
+    ASSERT_TRUE(result.best.has_value());
+    // Paper's pick: no feasible design strictly beats best on power.
+    for (const DsePoint& point : result.feasible_points)
+        EXPECT_GE(point.metrics.power_mw, result.best->metrics.power_mw * (1.0 - 1e-12));
+}
+
+TEST(DseCancelStress, CancelFromObserverAtSeededPointsLeavesValidPartialResults) {
+    const Problem problem = mpeg2_problem();
+    // Cancel after the 1st, 3rd, 10th, ... completed scaling: early,
+    // mid-flight and near-the-end shutdowns, all with 4 workers racing.
+    for (const std::size_t cancel_after : {std::size_t{1}, std::size_t{3}, std::size_t{10},
+                                           std::size_t{25}, std::size_t{60}}) {
+        CancellationToken token;
+        CancellingObserver observer(token, cancel_after);
+        const DseResult result =
+            explore(problem, stress_options(4), &observer, &token);
+        EXPECT_TRUE(observer.ended()) << "on_explore_end must fire even when cancelled";
+        expect_partial_result_valid(result, problem);
+        if (cancel_after <= observer.scalings_done()) {
+            // The run was actually cut short (unless it finished first).
+            EXPECT_LE(result.scalings_enumerated, result.scalings_total);
+        }
+    }
+}
+
+TEST(DseCancelStress, ExternalThreadsRacingRequestStopShutDownCleanly) {
+    const Problem problem = mpeg2_problem();
+    for (int round = 0; round < 4; ++round) {
+        CancellationToken parent;
+        CancellationToken token(&parent); // explorer watches the child
+        std::atomic<bool> exploring{true};
+        // Three cancellers race: two on the child, one via the parent
+        // chain, each after a different (round-seeded) busy wait.
+        std::vector<std::thread> cancellers;
+        for (int c = 0; c < 3; ++c) {
+            cancellers.emplace_back([&, c] {
+                std::atomic<int> spin{0};
+                while (spin.fetch_add(1, std::memory_order_relaxed) <
+                       (round * 3 + c) * 20000) {
+                }
+                if (c == 2)
+                    parent.request_stop();
+                else
+                    token.request_stop();
+                while (exploring.load(std::memory_order_acquire))
+                    std::this_thread::yield();
+            });
+        }
+        const DseResult result = explore(problem, stress_options(4), nullptr, &token);
+        exploring.store(false, std::memory_order_release);
+        for (std::thread& t : cancellers) t.join();
+        EXPECT_TRUE(token.cancel_requested());
+        expect_partial_result_valid(result, problem);
+    }
+}
+
+TEST(DseCancelStress, PreCancelledTokenYieldsEmptyButWellFormedResult) {
+    const Problem problem = mpeg2_problem();
+    CancellationToken token;
+    token.request_stop();
+    CancellingObserver observer(token, std::size_t(-1));
+    const DseResult result = explore(problem, stress_options(4), &observer, &token);
+    EXPECT_TRUE(observer.ended());
+    expect_partial_result_valid(result, problem);
+    EXPECT_EQ(result.scalings_searched, 0u);
+}
+
+TEST(DseCancelStress, UncancelledRunMatchesSerialReferenceUnderObserverLoad) {
+    // Observer streaming from 4 worker threads must not perturb the
+    // deterministic result: bit-identical to the quiet serial run.
+    const Problem problem = mpeg2_problem();
+    const DseResult reference = explore(problem, stress_options(1));
+    CancellationToken token; // never tripped
+    CancellingObserver observer(token, std::size_t(-1));
+    const DseResult loud = explore(problem, stress_options(4), &observer, &token);
+    EXPECT_EQ(observer.scalings_done(), reference.scalings_total);
+    ASSERT_EQ(loud.feasible_points.size(), reference.feasible_points.size());
+    ASSERT_TRUE(loud.best.has_value());
+    ASSERT_TRUE(reference.best.has_value());
+    EXPECT_TRUE(exactly_equal(loud.best->metrics.power_mw, reference.best->metrics.power_mw));
+    EXPECT_TRUE(exactly_equal(loud.best->metrics.gamma, reference.best->metrics.gamma));
+    EXPECT_EQ(loud.best->mapping, reference.best->mapping);
+    EXPECT_GT(observer.incumbents(), 0u);
+}
+
+} // namespace
+} // namespace seamap

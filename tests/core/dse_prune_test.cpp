@@ -179,8 +179,9 @@ TEST(DsePrune, MultiStartIsDeterministicAndNoWorsePerScaling) {
     // only improve each scaling's expected SEUs.
     for (const DsePoint& folded : serial.feasible_points)
         for (const DsePoint& alone : single.feasible_points)
-            if (folded.levels == alone.levels)
+            if (folded.levels == alone.levels) {
                 EXPECT_LE(folded.metrics.gamma, alone.metrics.gamma);
+            }
     EXPECT_GE(serial.feasible_points.size(), single.feasible_points.size());
 }
 

@@ -1,0 +1,201 @@
+// The PR 3 "zero steady-state allocation" claim as a hard test: once an
+// EvalContext is warmed up, full evaluation, suffix-only incremental
+// re-evaluation (move/swap), memo hits, and rebase() must perform ZERO
+// heap allocations — counted by the operator-new replacements in
+// tests/support/alloc_guard.cpp, not asserted by comment. The static
+// side of the same contract is seamap_lint's hot-path-alloc rule over
+// src/core/eval_context.cpp.
+#include "seamap/seamap.h"
+
+#include "support/alloc_guard.h"
+#include "taskgraph/fig8.h"
+#include "tgff/random_graph.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+using seamap::testing::AllocationGuard;
+
+// In plain builds a missing guard is a hard failure (a silent
+// link-order regression would make every budget below pass vacuously);
+// under sanitizers the runtime owns operator new and the budget tests
+// skip instead.
+#define SEAMAP_REQUIRE_ALLOC_GUARD()                                                     \
+    do {                                                                                 \
+        if (!seamap::testing::counting_allocator_active()) {                             \
+            ASSERT_FALSE(SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE)                             \
+                << "counting allocator not linked in a non-sanitized build";             \
+            GTEST_SKIP() << "allocation guard inactive under sanitizers";                \
+        }                                                                                \
+    } while (false)
+
+struct Workload {
+    std::string label;
+    TaskGraph graph;
+    std::size_t cores;
+    double deadline_seconds;
+};
+
+std::vector<Workload> workloads() {
+    std::vector<Workload> out;
+    out.push_back({"fig8", fig8_example_graph(), 3, k_fig8_deadline_seconds});
+    TgffParams params;
+    params.task_count = 24;
+    out.push_back({"tgff24", generate_tgff_graph(params, 5), 4,
+                   paper_tgff_deadline_seconds(24)});
+    return out;
+}
+
+Mapping random_mapping(const TaskGraph& graph, std::size_t cores, Rng& rng) {
+    Mapping mapping(graph.task_count(), cores);
+    for (TaskId t = 0; t < graph.task_count(); ++t)
+        mapping.assign(t, static_cast<CoreId>(rng.uniform_int(
+                              0, static_cast<std::int64_t>(cores) - 1)));
+    return mapping;
+}
+
+TEST(AllocGuard, CountingAllocatorIsLinkedIn) { SEAMAP_REQUIRE_ALLOC_GUARD(); }
+
+TEST(AllocGuard, ObservesVectorGrowth) {
+    SEAMAP_REQUIRE_ALLOC_GUARD();
+    AllocationGuard guard;
+    std::vector<int> v;
+    v.reserve(64);
+    EXPECT_GE(guard.allocations(), 1u);
+}
+
+TEST(EvalContextAlloc, SteadyStateFullEvaluationIsAllocationFree) {
+    SEAMAP_REQUIRE_ALLOC_GUARD();
+    for (const Workload& w : workloads()) {
+        const MpsocArchitecture arch(w.cores, VoltageScalingTable::arm7_three_level());
+        const ScalingVector levels(w.cores, ScalingLevel{1});
+        const EvaluationContext ctx{w.graph, arch, levels, SeuEstimator{SerModel{}},
+                                    w.deadline_seconds};
+        EvalContext eval(ctx);
+        Rng rng(21);
+        std::vector<Mapping> mappings;
+        for (int i = 0; i < 8; ++i) mappings.push_back(random_mapping(w.graph, w.cores, rng));
+        (void)eval.evaluate(mappings.front()); // warm-up: first-call growth
+
+        AllocationGuard guard;
+        double sink = 0.0;
+        for (const Mapping& mapping : mappings) sink += eval.evaluate(mapping).gamma;
+        EXPECT_EQ(guard.allocations(), 0u)
+            << "steady-state evaluate() allocated on " << w.label;
+        EXPECT_GT(sink, 0.0);
+    }
+}
+
+TEST(EvalContextAlloc, SuffixReschedulingIsAllocationFree) {
+    SEAMAP_REQUIRE_ALLOC_GUARD();
+    for (const Workload& w : workloads()) {
+        const MpsocArchitecture arch(w.cores, VoltageScalingTable::arm7_three_level());
+        const ScalingVector levels(w.cores, ScalingLevel{1});
+        const EvaluationContext ctx{w.graph, arch, levels, SeuEstimator{SerModel{}},
+                                    w.deadline_seconds};
+        EvalOptions options;
+        options.memoize = false; // isolate the incremental path: memo
+                                 // growth is the one documented exception
+        options.incremental = true;
+        EvalContext eval(ctx, options);
+        Rng rng(22);
+        Mapping base = random_mapping(w.graph, w.cores, rng);
+        (void)eval.rebase(base);
+        Mapping neighbor = base; // scratch hoisted: copy-assign below reuses capacity
+
+        AllocationGuard guard;
+        double sink = 0.0;
+        for (int i = 0; i < 64; ++i) {
+            neighbor = base;
+            const NeighborOp op = random_neighbor_op(neighbor, rng, 0.4, false);
+            sink += eval.evaluate_neighbor(op).gamma;
+        }
+        EXPECT_EQ(guard.allocations(), 0u)
+            << "suffix rescheduling allocated on " << w.label;
+        EXPECT_GT(sink, 0.0);
+    }
+}
+
+TEST(EvalContextAlloc, SteadyStateRebaseIsAllocationFree) {
+    SEAMAP_REQUIRE_ALLOC_GUARD();
+    const Workload w = workloads().back(); // the 24-task TGFF graph
+    const MpsocArchitecture arch(w.cores, VoltageScalingTable::arm7_three_level());
+    const ScalingVector levels(w.cores, ScalingLevel{1});
+    const EvaluationContext ctx{w.graph, arch, levels, SeuEstimator{SerModel{}},
+                                w.deadline_seconds};
+    EvalOptions options;
+    options.memoize = false;
+    EvalContext eval(ctx, options);
+    Rng rng(23);
+    std::vector<Mapping> bases;
+    for (int i = 0; i < 16; ++i) bases.push_back(random_mapping(w.graph, w.cores, rng));
+    // Warm-up pass: the per-core task lists grow (amortized, allowed)
+    // until each core has seen its high-water mark across these bases.
+    // The guarded replay of the same bases is the steady state.
+    for (const Mapping& base : bases) (void)eval.rebase(base);
+
+    AllocationGuard guard;
+    double sink = 0.0;
+    for (const Mapping& base : bases) sink += eval.rebase(base).gamma;
+    EXPECT_EQ(guard.allocations(), 0u) << "rebase() allocated in steady state";
+    EXPECT_GT(sink, 0.0);
+}
+
+TEST(EvalContextAlloc, MemoHitsAreAllocationFree) {
+    SEAMAP_REQUIRE_ALLOC_GUARD();
+    const Workload w = workloads().front(); // fig8
+    const MpsocArchitecture arch(w.cores, VoltageScalingTable::arm7_three_level());
+    const ScalingVector levels(w.cores, ScalingLevel{1});
+    const EvaluationContext ctx{w.graph, arch, levels, SeuEstimator{SerModel{}},
+                                w.deadline_seconds};
+    EvalContext eval(ctx); // defaults: memoize + incremental on
+    Rng rng(24);
+    Mapping base = random_mapping(w.graph, w.cores, rng);
+    (void)eval.rebase(base);
+    // First pass inserts into the memo (allowed to allocate)...
+    std::vector<NeighborOp> ops;
+    Mapping neighbor = base;
+    for (int i = 0; i < 32; ++i) {
+        neighbor = base;
+        ops.push_back(random_neighbor_op(neighbor, rng, 0.4, false));
+        (void)eval.evaluate_neighbor(ops.back());
+    }
+    const std::uint64_t hits_before = eval.stats().memo_hits;
+
+    // ...the replay of the identical neighbourhood must be pure lookups.
+    AllocationGuard guard;
+    double sink = 0.0;
+    for (const NeighborOp& op : ops) sink += eval.evaluate_neighbor(op).gamma;
+    EXPECT_EQ(guard.allocations(), 0u) << "memo hit path allocated";
+    EXPECT_GT(eval.stats().memo_hits, hits_before) << "replay did not hit the memo";
+    EXPECT_GT(sink, 0.0);
+}
+
+TEST(EvalContextAlloc, MemoizedLookupOfKnownMappingIsAllocationFree) {
+    SEAMAP_REQUIRE_ALLOC_GUARD();
+    const Workload w = workloads().front(); // fig8
+    const MpsocArchitecture arch(w.cores, VoltageScalingTable::arm7_three_level());
+    const ScalingVector levels(w.cores, ScalingLevel{1});
+    const EvaluationContext ctx{w.graph, arch, levels, SeuEstimator{SerModel{}},
+                                w.deadline_seconds};
+    EvalContext eval(ctx);
+    Rng rng(25);
+    std::vector<Mapping> mappings;
+    for (int i = 0; i < 8; ++i) mappings.push_back(random_mapping(w.graph, w.cores, rng));
+    for (const Mapping& mapping : mappings) (void)eval.evaluate_memoized(mapping);
+
+    AllocationGuard guard;
+    double sink = 0.0;
+    for (const Mapping& mapping : mappings) sink += eval.evaluate_memoized(mapping).gamma;
+    EXPECT_EQ(guard.allocations(), 0u) << "memoized lookup of a known mapping allocated";
+    EXPECT_GT(sink, 0.0);
+}
+
+} // namespace
+} // namespace seamap

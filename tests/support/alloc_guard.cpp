@@ -1,0 +1,123 @@
+// Counting replacements for the global allocation functions. See
+// alloc_guard.h for the contract. Built as a CMake OBJECT library so
+// the object file is always handed to the linker (a static archive
+// member holding only replacement operators could be skipped entirely,
+// silently disabling the guard).
+#include "support/alloc_guard.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace seamap::testing {
+namespace {
+
+thread_local std::uint64_t t_allocations = 0;
+thread_local std::uint64_t t_deallocations = 0;
+
+#if SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE
+void* counted_alloc(std::size_t size) noexcept {
+    ++t_allocations;
+    // malloc(0) may return nullptr; operator new must return a unique
+    // pointer instead.
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) noexcept {
+    ++t_allocations;
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+    return std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+}
+
+void counted_free(void* ptr) noexcept {
+    if (ptr == nullptr) return;
+    ++t_deallocations;
+    std::free(ptr);
+}
+#endif // SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE
+
+} // namespace
+
+std::uint64_t thread_allocation_count() { return t_allocations; }
+std::uint64_t thread_deallocation_count() { return t_deallocations; }
+
+bool counting_allocator_active() {
+    const std::uint64_t before = t_allocations;
+    delete new int(0);
+    return t_allocations == before + 1;
+}
+
+} // namespace seamap::testing
+
+// ---------------------------------------------------------------------
+// Global replacements. Every throwing/nothrow/aligned/array form routes
+// through the two helpers above; sized deletes forward to the unsized
+// free (the size hint is only an optimization license). Compiled out
+// under sanitizers: their runtimes own the allocation functions, and
+// the tests skip via SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE instead.
+#if SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE
+
+void* operator new(std::size_t size) {
+    if (void* p = seamap::testing::counted_alloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    if (void* p = seamap::testing::counted_alloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return seamap::testing::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return seamap::testing::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+    if (void* p = seamap::testing::counted_aligned_alloc(
+            size, static_cast<std::size_t>(alignment)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+    if (void* p = seamap::testing::counted_aligned_alloc(
+            size, static_cast<std::size_t>(alignment)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+    return seamap::testing::counted_aligned_alloc(size,
+                                                  static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+    return seamap::testing::counted_aligned_alloc(size,
+                                                  static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { seamap::testing::counted_free(ptr); }
+void operator delete[](void* ptr) noexcept { seamap::testing::counted_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { seamap::testing::counted_free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { seamap::testing::counted_free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { seamap::testing::counted_free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { seamap::testing::counted_free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+    seamap::testing::counted_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+    seamap::testing::counted_free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+    seamap::testing::counted_free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+    seamap::testing::counted_free(ptr);
+}
+
+#endif // SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE

@@ -1,0 +1,72 @@
+// Runtime allocation guard for the zero-steady-state-allocation
+// contract. tests/support/alloc_guard.cpp replaces the global
+// operator new/delete with counting wrappers (linked into every test
+// executable as an object library, so the replacements are guaranteed
+// to be picked over the toolchain's), and this header exposes scoped
+// sampling of the per-thread counts.
+//
+// Together with seamap_lint's static hot-path-alloc rule this turns
+// the PR 3 claim — "EvalContext steady-state evaluation performs no
+// heap allocation" — into a hard test instead of a comment:
+// tests/core/eval_context_alloc_test.cpp fails if a single byte is
+// allocated in the steady-state eval or suffix-reschedule loops.
+//
+// Counters are thread_local, so a guard only observes allocations made
+// by the thread that created it — other test threads (gtest internals,
+// sanitizer runtimes) never pollute a measurement.
+#pragma once
+
+#include <cstdint>
+
+// Sanitizer runtimes interpose the global allocation functions, so the
+// counting replacements cannot be active under ASan/TSan/MSan — the
+// replacements are compiled out there and allocation-budget tests skip
+// (gated on this macro so a missing guard still FAILS in plain builds).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE 0
+#endif
+#endif
+#ifndef SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE
+#define SEAMAP_ALLOC_GUARD_EXPECTED_ACTIVE 1
+#endif
+
+namespace seamap::testing {
+
+/// Allocations performed by this thread since it started (every form
+/// of operator new, including nothrow and aligned).
+std::uint64_t thread_allocation_count();
+
+/// Matching deallocation count for this thread.
+std::uint64_t thread_deallocation_count();
+
+/// True when the counting operator new/delete replacements are the
+/// ones actually linked in — a test should assert this once before
+/// trusting any measurement, so a silent link-order regression fails
+/// loudly instead of making every guard read 0.
+bool counting_allocator_active();
+
+/// Scoped sample: counts allocations/deallocations on the constructing
+/// thread between construction and the query.
+class AllocationGuard {
+public:
+    AllocationGuard()
+        : start_allocs_(thread_allocation_count()),
+          start_deallocs_(thread_deallocation_count()) {}
+
+    std::uint64_t allocations() const {
+        return thread_allocation_count() - start_allocs_;
+    }
+    std::uint64_t deallocations() const {
+        return thread_deallocation_count() - start_deallocs_;
+    }
+
+private:
+    std::uint64_t start_allocs_;
+    std::uint64_t start_deallocs_;
+};
+
+} // namespace seamap::testing

@@ -1,0 +1,20 @@
+// Negative fixture: an order-unstable container in a JSON-producing
+// path (src/api/). Hash iteration order would feed straight into the
+// report, breaking byte-identical output across standard libraries.
+// seamap-lint-fixture: expect unordered-iter
+
+#include <string>
+#include <unordered_map>
+
+namespace seamap_fixture {
+
+std::string metrics_json(const std::unordered_map<std::string, double>& metrics) {
+    std::string out = "{";
+    for (const auto& [key, value] : metrics) { // hash order leaks into the report
+        out += "\"" + key + "\":" + std::to_string(value) + ",";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace seamap_fixture

@@ -1,0 +1,25 @@
+// Negative fixture: allocation-shaped calls in a file marked as a hot
+// path, outside any allowed setup region. Every banned shape appears:
+// operator new, make_unique, and container growth.
+// seamap-lint: hot-path
+// seamap-lint-fixture: expect hot-path-alloc
+
+#include <memory>
+#include <vector>
+
+namespace seamap_fixture {
+
+struct Scratch {
+    std::vector<double> values;
+};
+
+double evaluate_candidate(Scratch& scratch, double x) {
+    scratch.values.push_back(x);        // steady-state growth
+    auto owned = std::make_unique<int>(7);
+    double* raw = new double(x);        // raw allocation
+    const double out = *raw + static_cast<double>(*owned);
+    delete raw;
+    return out;
+}
+
+} // namespace seamap_fixture

@@ -1,0 +1,18 @@
+// Negative fixture: ambient randomness in search code. Every form the
+// rule bans appears once; the linter must flag this file with `rng`
+// (and nothing else).
+// seamap-lint-fixture: expect rng
+
+#include <cstdlib>
+#include <random>
+
+namespace seamap_fixture {
+
+int ambient_seed() {
+    std::random_device device; // hardware entropy: not reproducible
+    std::mt19937_64 engine(device());
+    std::srand(42);
+    return static_cast<int>(engine()) + std::rand();
+}
+
+} // namespace seamap_fixture

@@ -1,0 +1,15 @@
+// Negative fixture: suppressions that do not carry their weight — an
+// allow() without a reason, and a push-allow that is never popped.
+// Both must be rejected as bad-suppression (and the reasonless allow
+// must NOT silence the float-eq finding on its line).
+// seamap-lint-fixture: expect bad-suppression float-eq
+
+namespace seamap_fixture {
+
+// seamap-lint: push-allow(hot-path-alloc) -- opened but never closed
+
+bool reasonless(double x) {
+    return x == 0.25; // seamap-lint: allow(float-eq)
+}
+
+} // namespace seamap_fixture

@@ -1,0 +1,19 @@
+// Negative fixture: wall-clock reads inside search/eval code. Timing
+// may flow only through the sanctioned cancellation utilities, never
+// be sampled ad hoc — a clock read inside a search loop makes results
+// depend on machine load.
+// seamap-lint-fixture: expect time
+
+#include <chrono>
+#include <ctime>
+
+namespace seamap_fixture {
+
+double search_step_budget() {
+    const auto started = std::chrono::steady_clock::now();
+    std::time_t wall = std::time(nullptr);
+    return static_cast<double>(started.time_since_epoch().count()) +
+           static_cast<double>(wall);
+}
+
+} // namespace seamap_fixture

@@ -1,0 +1,19 @@
+// Negative fixture: raw floating-point equality. Both operand shapes
+// the analyzer understands appear: a float literal and a double-typed
+// member field.
+// seamap-lint-fixture: expect float-eq
+
+namespace seamap_fixture {
+
+struct Metrics {
+    double power_mw = 0.0;
+    double gamma = 0.0;
+};
+
+bool same_design(const Metrics& a, const Metrics& b) {
+    if (a.power_mw == b.power_mw) return true; // raw field comparison
+    double budget = 1.5;
+    return budget != 1.5; // raw literal comparison
+}
+
+} // namespace seamap_fixture

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Toolchain-free formatting hygiene check (and fixer).
+
+clang-format (.clang-format) is the authoritative formatter, but it is
+not installed everywhere this repo builds. This script enforces the
+subset of formatting rules that never needs a C++ parser — so every
+environment, including minimal containers, can run *a* format gate:
+
+  - no trailing whitespace
+  - no tab indentation (the tree is 4-space indented)
+  - every file ends with exactly one newline
+  - no CRLF line endings
+
+Usage:
+    python3 tools/lint/format_check.py [--fix] [paths...]
+
+Default paths: src tests tools bench examples. Exit 0 clean, 1 dirty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+EXTENSIONS = (".h", ".cpp", ".cmake", ".py", ".md", ".json", ".yml", ".txt")
+DEFAULT_PATHS = ["src", "tests", "tools", "bench", "examples"]
+
+
+def check_file(path: str, fix: bool) -> list[str]:
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    problems = []
+    if b"\r" in raw:
+        problems.append(f"{path}: CRLF line endings")
+    text = raw.decode("utf-8", errors="replace").replace("\r\n", "\n").replace("\r", "\n")
+    lines = text.split("\n")
+    for number, line in enumerate(lines, start=1):
+        if line != line.rstrip():
+            problems.append(f"{path}:{number}: trailing whitespace")
+        stripped = line[: len(line) - len(line.lstrip())]
+        if "\t" in stripped and not path.endswith((".md", ".txt")):
+            problems.append(f"{path}:{number}: tab indentation")
+    if raw and not raw.endswith(b"\n"):
+        problems.append(f"{path}: missing final newline")
+    if raw.endswith(b"\n\n"):
+        problems.append(f"{path}: multiple trailing newlines")
+    if problems and fix:
+        fixed_lines = [line.rstrip().replace("\t", "    ") if line != line.rstrip()
+                       or "\t" in line[: len(line) - len(line.lstrip())] else line
+                       for line in lines]
+        fixed = "\n".join(fixed_lines).rstrip("\n") + "\n"
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(fixed)
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fix", action="store_true", help="rewrite offending files")
+    parser.add_argument("paths", nargs="*", default=DEFAULT_PATHS)
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    problems: list[str] = []
+    checked = 0
+    for base in args.paths:
+        base_path = os.path.join(root, base)
+        if os.path.isfile(base_path):
+            problems.extend(check_file(base_path, args.fix))
+            checked += 1
+            continue
+        for directory, _, files in sorted(os.walk(base_path)):
+            for name in sorted(files):
+                if name.endswith(EXTENSIONS) or name == "CMakeLists.txt":
+                    problems.extend(check_file(os.path.join(directory, name), args.fix))
+                    checked += 1
+    if problems:
+        action = "fixed" if args.fix else "found"
+        print(f"format_check: {len(problems)} problem(s) {action} in {checked} files:")
+        for problem in problems:
+            print(f"  {os.path.relpath(problem, root) if os.path.isabs(problem) else problem}")
+        return 0 if args.fix else 1
+    print(f"format_check: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Repo-wide clang-tidy runner with a checked-in baseline.
+
+Runs clang-tidy (configuration: the repo's .clang-tidy) over every
+first-party translation unit in compile_commands.json, in parallel, and
+fails on any finding that is not recorded in the baseline file. The
+baseline exists so a finding class can be burned down incrementally
+without letting NEW instances in: CI fails on new findings immediately,
+and shrinking the baseline is always safe.
+
+Usage:
+    python3 tools/lint/run_clang_tidy.py [--build-dir build] \
+        [--baseline tools/lint/clang_tidy_baseline.txt] [--jobs N] \
+        [--update-baseline]
+
+Exit codes: 0 clean (or baseline-covered), 1 new findings,
+2 environment error (no clang-tidy, no compile_commands.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# Findings look like: path:line:col: warning: message [check-name]
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[\w\-.,]+)\]$"
+)
+
+FIRST_PARTY = ("src/", "tests/", "tools/", "bench/", "examples/")
+
+
+def first_party_sources(build_dir: str, root: str) -> list[str]:
+    database = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(database):
+        print(f"error: {database} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        sys.exit(2)
+    with open(database, encoding="utf-8") as handle:
+        entries = json.load(handle)
+    sources = []
+    for entry in entries:
+        path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(FIRST_PARTY) and path not in sources:
+            sources.append(path)
+    return sorted(sources)
+
+
+def tidy_one(tidy: str, build_dir: str, source: str) -> str:
+    result = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", source],
+        capture_output=True, text=True, check=False)
+    return result.stdout
+
+
+def normalize(root: str, raw_findings: list[str]) -> list[str]:
+    """`relpath:line: message [check]` — column dropped so minor edits
+    on the same line do not churn the baseline."""
+    out = []
+    for line in raw_findings:
+        match = FINDING_RE.match(line)
+        if not match:
+            continue
+        rel = os.path.relpath(match.group("path"), root)
+        if not rel.startswith(FIRST_PARTY):
+            continue  # system/third-party header noise
+        out.append(f"{rel}:{match.group('line')}: {match.group('message')} "
+                   f"[{match.group('check')}]")
+    return sorted(set(out))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline", default="tools/lint/clang_tidy_baseline.txt")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with the current findings")
+    parser.add_argument("--clang-tidy", default=os.environ.get("CLANG_TIDY", "clang-tidy"))
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        print(f"error: {args.clang_tidy} not found on PATH", file=sys.stderr)
+        return 2
+
+    sources = first_party_sources(args.build_dir, root)
+    print(f"clang-tidy over {len(sources)} translation units "
+          f"({args.jobs} jobs)...")
+    raw: list[str] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for output in pool.map(lambda s: tidy_one(tidy, args.build_dir, s), sources):
+            raw.extend(output.splitlines())
+    findings = normalize(root, raw)
+
+    baseline_path = os.path.join(root, args.baseline)
+    if args.update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write("# clang-tidy baseline: known findings being burned down.\n"
+                         "# Regenerate with tools/lint/run_clang_tidy.py "
+                         "--update-baseline.\n")
+            for finding in findings:
+                handle.write(finding + "\n")
+        print(f"baseline updated: {len(findings)} finding(s)")
+        return 0
+
+    baseline: set[str] = set()
+    if os.path.exists(baseline_path):
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = {line.rstrip("\n") for line in handle
+                        if line.strip() and not line.startswith("#")}
+
+    new = [f for f in findings if f not in baseline]
+    fixed = sorted(baseline - set(findings))
+    if fixed:
+        print(f"note: {len(fixed)} baselined finding(s) no longer fire; "
+              "shrink the baseline:")
+        for finding in fixed[:10]:
+            print(f"  {finding}")
+    if new:
+        print(f"FAIL: {len(new)} new clang-tidy finding(s):")
+        for finding in new:
+            print(f"  {finding}")
+        return 1
+    print(f"clang-tidy clean ({len(findings)} baselined, 0 new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
