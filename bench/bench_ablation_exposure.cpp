@@ -5,6 +5,7 @@
 // the choice changes (a) the Gamma landscape over mappings and (b) the
 // design the optimizer picks.
 #include "bench_common.h"
+#include "util/table.h"
 
 #include "core/dse.h"
 #include "taskgraph/mpeg2.h"

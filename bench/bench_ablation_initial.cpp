@@ -4,6 +4,8 @@
 // and compares the Gamma of the best feasible design found. Swept over
 // workloads and budgets.
 #include "bench_common.h"
+#include "core/initial_mapping.h"
+#include "util/table.h"
 
 #include "taskgraph/mpeg2.h"
 #include "tgff/random_graph.h"

@@ -4,6 +4,8 @@
 //   move+swap    (swap_probability = 0.3, sweeps off)
 //   move+swap+sweep (the default: periodic exhaustive single-move pass)
 #include "bench_common.h"
+#include "core/initial_mapping.h"
+#include "util/table.h"
 
 #include "taskgraph/mpeg2.h"
 #include "tgff/random_graph.h"

@@ -4,6 +4,7 @@
 // tracks the exact value over mapping populations (error statistics)
 // and whether gating the DSE on eq. (6) would change chosen designs.
 #include "bench_common.h"
+#include "util/table.h"
 
 #include "taskgraph/mpeg2.h"
 #include "tgff/random_graph.h"

@@ -1,4 +1,6 @@
 #include "bench_common.h"
+#include "core/initial_mapping.h"
+#include "core/optimized_mapping.h"
 
 #include "util/rng.h"
 

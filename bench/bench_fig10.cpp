@@ -6,6 +6,7 @@
 // Paper headline: the proposed optimization consistently experiences
 // fewer SEUs (up to ~7% at 6 cores) at a small power premium (~3%).
 #include "bench_common.h"
+#include "util/table.h"
 
 #include "tgff/random_graph.h"
 #include "util/stats.h"

@@ -8,6 +8,7 @@
 // (coarse scaling cannot descend as deep, so voltages — and SER — stay
 // high).
 #include "bench_common.h"
+#include "util/table.h"
 
 #include "tgff/random_graph.h"
 #include "util/stats.h"

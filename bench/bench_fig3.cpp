@@ -13,6 +13,7 @@
 // (seeded), spanning the localize<->distribute spectrum, plus the two
 // extremes. Output: one CSV block per panel, then the shape summary.
 #include "bench_common.h"
+#include "util/table.h"
 
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"

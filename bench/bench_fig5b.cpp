@@ -4,6 +4,7 @@
 // instead of 3^4 = 81), plus the combination-count scaling for other
 // architectures.
 #include "bench_common.h"
+#include "util/table.h"
 
 #include "arch/scaling_enumerator.h"
 #include "arch/scaling_table.h"

@@ -4,6 +4,7 @@
 // fault-injection trial, and the public-API search strategies behind
 // their common interface. These are the per-iteration costs that
 // determine how much design space a given search budget covers.
+#include "reliability/register_usage.h"
 #include "seamap/seamap.h"
 
 #include "api/scenarios.h"

@@ -15,6 +15,7 @@
 // fewer SEUs than Exp:2 at ~9% less power, and ~28% fewer than Exp:1
 // at ~7% more power.
 #include "bench_common.h"
+#include "util/table.h"
 
 #include "taskgraph/mpeg2.h"
 #include "util/stats.h"

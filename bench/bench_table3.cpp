@@ -13,6 +13,7 @@
 // capacity) so the constraint binds identically on our substrate —
 // see EXPERIMENTS.md.
 #include "bench_common.h"
+#include "util/table.h"
 
 #include "taskgraph/mpeg2.h"
 #include "tgff/random_graph.h"

@@ -8,6 +8,7 @@
 //
 // Usage: fault_injection_campaign [trials] [seed] [policy]
 //   policy: full (default) | busy | task
+#include "reliability/register_usage.h"
 #include "seamap/seamap.h"
 
 #include "core/initial_mapping.h"

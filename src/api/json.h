@@ -18,7 +18,9 @@
 //                                             // when cancelled/cut early
 //       "best": <point> | null,
 //       "feasible_count",
-//       "pareto_front": [<point>...]
+//       "pareto_front": [<point>...],
+//       "min_power_points": [<point>...]   // only when
+//                                          // search.track_min_power is on
 //     }
 //   }
 // where <point> = {"levels": [..], "core_of": [..], "metrics":
@@ -28,6 +30,7 @@
 
 #include "api/problem.h"
 #include "core/dse.h"
+#include "reliability/design_eval.h"
 #include "util/json.h"
 
 #include <string_view>

@@ -4,4 +4,4 @@
 // reachable through the api/ headers and seamap/seamap.h.
 #pragma once
 
-#include "core/observer.h"
+#include "core/observer.h" // arch-check: export

@@ -19,6 +19,8 @@
 #pragma once
 
 #include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
+#include "arch/scaling_table.h"
 #include "reliability/design_eval.h"
 #include "reliability/ser_model.h"
 #include "reliability/seu_estimator.h"

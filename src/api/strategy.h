@@ -7,8 +7,13 @@
 // new backend is one register_search_strategy() call away.
 #pragma once
 
+#include "baseline/objectives.h"
 #include "baseline/simulated_annealing.h"
+#include "core/eval_context.h"
+#include "core/optimized_mapping.h"
 #include "core/search_strategy.h"
+#include "reliability/design_eval.h"
+#include "sched/mapping.h"
 #include "util/cancellation.h"
 
 #include <cstdint>

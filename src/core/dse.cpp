@@ -32,6 +32,9 @@ struct ScalingOutcome {
     };
     Status status = Status::not_run;
     DsePoint point;
+    /// Folded min-power side channel (DseParams::search.track_min_power).
+    DsePoint min_power_point;
+    bool has_min_power = false;
 };
 
 /// Deterministic best-of-K fold over a scaling's multi-start results:
@@ -57,6 +60,34 @@ const LocalSearchResult& fold_starts(const std::vector<LocalSearchResult>& start
     for (std::size_t r = 1; r < starts.size(); ++r)
         if (better_start(starts[r], *best)) best = &starts[r];
     return *best;
+}
+
+/// Companion fold for the opt-in min-power side channel: among starts
+/// that tracked a feasible min-power design, the cheapest wins (power,
+/// then Gamma, then the mapping as a total-order tie-break). Returns
+/// nullptr when no start recorded one (tracking off, or nothing
+/// feasible). Same start-order purity argument as fold_starts.
+const LocalSearchResult* fold_min_power(const std::vector<LocalSearchResult>& starts) {
+    const LocalSearchResult* best = nullptr;
+    for (const LocalSearchResult& start : starts) {
+        if (!start.min_power_found) continue;
+        if (best == nullptr) {
+            best = &start;
+            continue;
+        }
+        const DesignMetrics& a = start.min_power_metrics;
+        const DesignMetrics& b = best->min_power_metrics;
+        bool cheaper = false;
+        if (!exactly_equal(a.power_mw, b.power_mw)) {
+            cheaper = a.power_mw < b.power_mw;
+        } else if (!exactly_equal(a.gamma, b.gamma)) {
+            cheaper = a.gamma < b.gamma;
+        } else {
+            cheaper = start.min_power_mapping.raw() < best->min_power_mapping.raw();
+        }
+        if (cheaper) best = &start;
+    }
+    return best;
 }
 
 /// Incumbent (P, Gamma) staircase the branch-and-bound prunes against:
@@ -405,6 +436,12 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         outcome.point.levels = combinations[slot.combo];
         outcome.point.mapping = folded.best_mapping;
         outcome.point.metrics = folded.best_metrics;
+        if (const LocalSearchResult* cheapest = fold_min_power(slot.start_results)) {
+            outcome.min_power_point.levels = combinations[slot.combo];
+            outcome.min_power_point.mapping = cheapest->min_power_mapping;
+            outcome.min_power_point.metrics = cheapest->min_power_metrics;
+            outcome.has_min_power = true;
+        }
         replay_front.insert(folded.best_metrics.power_mw, folded.best_metrics.gamma);
     }
 
@@ -431,6 +468,8 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
             ++result.scalings_enumerated;
             ++result.scalings_searched;
             result.feasible_points.push_back(std::move(outcome.point));
+            if (outcome.has_min_power)
+                result.min_power_points.push_back(std::move(outcome.min_power_point));
         }
     }
 

@@ -33,10 +33,14 @@
 #pragma once
 
 #include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
 #include "core/eval_context.h"
 #include "core/optimized_mapping.h"
 #include "reliability/design_eval.h"
+#include "reliability/ser_model.h"
+#include "reliability/seu_estimator.h"
 #include "sched/mapping.h"
+#include "taskgraph/task_graph.h"
 #include "util/cancellation.h"
 
 #include <cstdint>
@@ -112,6 +116,15 @@ struct DseResult {
     std::optional<DsePoint> best;
     /// Every feasible design point evaluated.
     std::vector<DsePoint> feasible_points;
+    /// The minimum-power feasible design each scaling's walk passed
+    /// through (power first, Gamma tie-break), parallel in enumeration
+    /// order to `feasible_points`. Only populated when
+    /// `DseParams::search.track_min_power` is on and the strategy
+    /// tracks it (the Fig. 7 engine does); empty otherwise, so result
+    /// schemas built on this struct are unchanged when the flag is off.
+    /// Sharpens the incumbent front: a walk's min-Gamma pick can sit at
+    /// a higher power than the cheapest feasible design it saw.
+    std::vector<DsePoint> min_power_points;
     /// Non-dominated subset over (power_mw, gamma).
     std::vector<DsePoint> pareto_front;
     /// Size of the full Fig. 5 sequence for this architecture.

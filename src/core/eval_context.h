@@ -40,6 +40,8 @@
 
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
+#include "taskgraph/register_file.h"
+#include "taskgraph/task_graph.h"
 #include "util/rng.h"
 
 #include <cstdint>

@@ -13,7 +13,9 @@
 // final DseResult is unaffected by anything an observer does.
 #pragma once
 
+#include "arch/scaling_enumerator.h"
 #include "core/dse.h"
+#include "reliability/design_eval.h"
 
 #include <cstddef>
 

@@ -55,6 +55,8 @@
 #pragma once
 
 #include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
+#include "reliability/ser_model.h"
 #include "reliability/seu_estimator.h"
 #include "taskgraph/task_graph.h"
 

@@ -11,7 +11,10 @@
 // relies on this to stay bit-identical across thread counts.
 #pragma once
 
+#include "core/eval_context.h"
 #include "core/optimized_mapping.h"
+#include "reliability/design_eval.h"
+#include "sched/mapping.h"
 #include "util/cancellation.h"
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "reliability/design_eval.h"
 
+#include "reliability/register_usage.h"
+
 namespace seamap {
 
 DesignMetrics evaluate_design(const EvaluationContext& ctx, const Mapping& mapping,

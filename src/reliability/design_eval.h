@@ -15,6 +15,7 @@
 #pragma once
 
 #include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
 #include "reliability/seu_estimator.h"
 #include "sched/list_scheduler.h"
 #include "sched/mapping.h"

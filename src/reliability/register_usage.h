@@ -6,6 +6,7 @@
 #pragma once
 
 #include "sched/mapping.h"
+#include "taskgraph/register_file.h"
 #include "taskgraph/task_graph.h"
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "reliability/seu_estimator.h"
 
+#include "reliability/register_usage.h"
+
 // estimate_into() is the hot variant design_eval's scoring loop calls
 // per candidate; the marker arms seamap_lint's hot-path-alloc rule so
 // new allocation-shaped calls in this file fail `make lint`.

@@ -21,7 +21,7 @@
 #pragma once
 
 #include "arch/mpsoc.h"
-#include "reliability/register_usage.h"
+#include "arch/scaling_enumerator.h"
 #include "reliability/ser_model.h"
 #include "sched/list_scheduler.h"
 #include "sched/mapping.h"

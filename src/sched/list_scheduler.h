@@ -32,6 +32,7 @@
 #pragma once
 
 #include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
 #include "sched/mapping.h"
 #include "taskgraph/task_graph.h"
 

@@ -13,11 +13,11 @@
 // (TaskGraph, MpsocArchitecture, DseResult, ...) arrive transitively.
 #pragma once
 
-#include "seamap/version.h"
+#include "seamap/version.h" // arch-check: export
 
-#include "api/explore.h"
-#include "api/json.h"
-#include "api/observer.h"
-#include "api/problem.h"
-#include "api/strategy.h"
-#include "util/cancellation.h"
+#include "api/explore.h" // arch-check: export
+#include "api/json.h" // arch-check: export
+#include "api/observer.h" // arch-check: export
+#include "api/problem.h" // arch-check: export
+#include "api/strategy.h" // arch-check: export
+#include "util/cancellation.h" // arch-check: export

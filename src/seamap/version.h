@@ -1,22 +1,6 @@
-// Library version. Bumped with every released change to the public API
-// surface (seamap/seamap.h); `seamap_cli version` prints this.
+// Public re-export of the library version (the definitions live in
+// util/version.h so lower layers can use them without an upward
+// dependency on seamap/).
 #pragma once
 
-#include <string_view>
-
-#define SEAMAP_VERSION_MAJOR 0
-#define SEAMAP_VERSION_MINOR 2
-#define SEAMAP_VERSION_PATCH 0
-#define SEAMAP_VERSION_STRING "0.2.0"
-
-namespace seamap {
-
-inline constexpr std::string_view k_version_string = SEAMAP_VERSION_STRING;
-inline constexpr int k_version_major = SEAMAP_VERSION_MAJOR;
-inline constexpr int k_version_minor = SEAMAP_VERSION_MINOR;
-inline constexpr int k_version_patch = SEAMAP_VERSION_PATCH;
-
-/// The library version as "major.minor.patch".
-constexpr std::string_view version_string() { return k_version_string; }
-
-} // namespace seamap
+#include "util/version.h" // arch-check: export

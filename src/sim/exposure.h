@@ -15,9 +15,12 @@
 #pragma once
 
 #include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
+#include "reliability/ser_model.h"
 #include "reliability/seu_estimator.h"
 #include "sched/list_scheduler.h"
 #include "sched/mapping.h"
+#include "taskgraph/register_file.h"
 #include "taskgraph/task_graph.h"
 
 #include <cstdint>

@@ -10,7 +10,13 @@
 // mean / stdev / 95% CI.
 #pragma once
 
+#include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
+#include "reliability/ser_model.h"
+#include "sched/list_scheduler.h"
+#include "sched/mapping.h"
 #include "sim/exposure.h"
+#include "taskgraph/task_graph.h"
 #include "util/rng.h"
 #include "util/stats.h"
 

@@ -1,0 +1,80 @@
+// The opt-in min-power side channel (DseParams::search.track_min_power):
+// each scaling's walk can record the cheapest feasible design it passed
+// through alongside its min-Gamma pick. Off by default — the result
+// schema (and every byte of the JSON document) is unchanged — and when
+// on, the recorded points are feasible, never pricier than the walk's
+// own pick, and deterministic across thread counts.
+#include "core/dse.h"
+
+#include "api/json.h"
+#include "taskgraph/fig8.h"
+
+#include <gtest/gtest.h>
+
+namespace seamap {
+namespace {
+
+DseResult run(bool track, std::size_t threads = 1) {
+    DseParams params;
+    params.search.max_iterations = 600;
+    params.search.seed = 7;
+    params.search.track_min_power = track;
+    params.num_threads = threads;
+    const DesignSpaceExplorer explorer{SerModel{}};
+    return explorer.explore(fig8_example_graph(),
+                            MpsocArchitecture(3, VoltageScalingTable::arm7_three_level()),
+                            0.2, params);
+}
+
+TEST(DseMinPower, OffByDefaultAndSchemaUnchanged) {
+    LocalSearchParams defaults;
+    EXPECT_FALSE(defaults.track_min_power);
+    const DseResult result = run(false);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_TRUE(result.min_power_points.empty());
+    const std::string document = to_json(result).dump();
+    EXPECT_EQ(document.find("min_power_points"), std::string::npos);
+}
+
+TEST(DseMinPower, TracksOnePointPerFeasibleScaling) {
+    const DseResult result = run(true);
+    ASSERT_FALSE(result.feasible_points.empty());
+    // The Fig. 7 engine records a min-power design whenever the walk
+    // found anything feasible, so the two folds stay parallel.
+    ASSERT_EQ(result.min_power_points.size(), result.feasible_points.size());
+    for (std::size_t i = 0; i < result.min_power_points.size(); ++i) {
+        const DsePoint& cheapest = result.min_power_points[i];
+        const DsePoint& picked = result.feasible_points[i];
+        EXPECT_EQ(cheapest.levels, picked.levels);
+        EXPECT_TRUE(cheapest.metrics.feasible);
+        // The walk's min-power design can never cost more than its
+        // min-Gamma pick — both came from the same evaluation stream.
+        EXPECT_LE(cheapest.metrics.power_mw, picked.metrics.power_mw);
+    }
+    const std::string document = to_json(result).dump();
+    EXPECT_NE(document.find("min_power_points"), std::string::npos);
+}
+
+TEST(DseMinPower, TrackingLeavesThePickUntouched) {
+    const DseResult off = run(false);
+    const DseResult on = run(true);
+    ASSERT_TRUE(off.best.has_value());
+    ASSERT_TRUE(on.best.has_value());
+    EXPECT_EQ(off.best->levels, on.best->levels);
+    EXPECT_EQ(off.best->mapping.raw(), on.best->mapping.raw());
+    EXPECT_EQ(off.feasible_points.size(), on.feasible_points.size());
+}
+
+TEST(DseMinPower, DeterministicAcrossThreadCounts) {
+    const DseResult serial = run(true, 1);
+    const DseResult parallel = run(true, 4);
+    ASSERT_EQ(serial.min_power_points.size(), parallel.min_power_points.size());
+    for (std::size_t i = 0; i < serial.min_power_points.size(); ++i) {
+        EXPECT_EQ(serial.min_power_points[i].levels, parallel.min_power_points[i].levels);
+        EXPECT_EQ(serial.min_power_points[i].mapping.raw(),
+                  parallel.min_power_points[i].mapping.raw());
+    }
+}
+
+} // namespace
+} // namespace seamap

@@ -11,6 +11,7 @@
 // *narrative invariants* rather than the exact per-panel placements.
 #include "core/initial_mapping.h"
 #include "core/optimized_mapping.h"
+#include "reliability/register_usage.h"
 
 #include "taskgraph/fig8.h"
 

@@ -1,4 +1,5 @@
 #include "core/initial_mapping.h"
+#include "reliability/register_usage.h"
 
 #include "taskgraph/fig8.h"
 #include "taskgraph/mpeg2.h"

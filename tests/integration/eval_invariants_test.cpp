@@ -7,7 +7,6 @@
 #include "seamap/seamap.h"
 
 #include "taskgraph/fig8.h"
-#include "taskgraph/mpeg2.h"
 #include "tgff/random_graph.h"
 #include "util/rng.h"
 

@@ -4,6 +4,7 @@
 // on real workloads.
 #include "core/initial_mapping.h"
 #include "reliability/design_eval.h"
+#include "reliability/register_usage.h"
 #include "sim/fault_injection.h"
 #include "taskgraph/mpeg2.h"
 #include "tgff/random_graph.h"

@@ -1,4 +1,5 @@
 #include "reliability/design_eval.h"
+#include "reliability/register_usage.h"
 
 #include "taskgraph/fig8.h"
 

@@ -1,0 +1,11 @@
+#pragma once
+
+// arch-check: allow(unused-include)
+
+namespace fx {
+
+struct SloppyThing {
+    int z = 0;
+};
+
+} // namespace fx

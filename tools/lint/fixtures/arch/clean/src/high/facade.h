@@ -1,0 +1,11 @@
+#pragma once
+
+#include "low/value.h"
+
+namespace fx {
+
+inline int unwrap(const ValueBox& b) {
+    return b.held;
+}
+
+} // namespace fx

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+struct ValueBox {
+    int held = 0;
+};
+
+} // namespace fx

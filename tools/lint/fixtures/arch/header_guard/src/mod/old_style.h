@@ -1,0 +1,12 @@
+#ifndef FX_MOD_OLD_STYLE_H
+#define FX_MOD_OLD_STYLE_H
+
+namespace fx {
+
+struct OldGuarded {
+    int g = 0;
+};
+
+} // namespace fx
+
+#endif

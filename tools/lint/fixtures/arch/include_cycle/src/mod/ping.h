@@ -1,0 +1,11 @@
+#pragma once
+
+#include "mod/pong.h"
+
+namespace fx {
+
+struct PingSide {
+    PongSide* other = nullptr;
+};
+
+} // namespace fx

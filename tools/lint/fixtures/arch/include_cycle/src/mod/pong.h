@@ -1,0 +1,11 @@
+#pragma once
+
+#include "mod/ping.h"
+
+namespace fx {
+
+struct PongSide {
+    PingSide* other = nullptr;
+};
+
+} // namespace fx

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+struct TopThing {
+    int v = 0;
+};
+
+} // namespace fx

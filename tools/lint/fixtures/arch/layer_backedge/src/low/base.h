@@ -1,0 +1,11 @@
+#pragma once
+
+#include "high/top.h"
+
+namespace fx {
+
+inline int peek(const TopThing& t) {
+    return t.v;
+}
+
+} // namespace fx

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+inline int probe(const LonelyType& t) {
+    return t.x;
+}
+
+} // namespace fx

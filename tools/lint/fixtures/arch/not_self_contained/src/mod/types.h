@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+struct LonelyType {
+    int x = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+inline int api_entry(int renamed_arg) {
+    return renamed_arg;
+}
+
+} // namespace fx

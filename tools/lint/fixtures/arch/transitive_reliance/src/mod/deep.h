@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+struct DeepState {
+    int depth = 0;
+};
+
+} // namespace fx

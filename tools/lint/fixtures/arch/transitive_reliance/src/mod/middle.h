@@ -1,0 +1,11 @@
+#pragma once
+
+#include "mod/deep.h"
+
+namespace fx {
+
+struct MiddleStage {
+    DeepState inner;
+};
+
+} // namespace fx

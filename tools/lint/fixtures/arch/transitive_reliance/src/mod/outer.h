@@ -1,0 +1,12 @@
+#pragma once
+
+#include "mod/middle.h"
+
+namespace fx {
+
+struct OuterShell {
+    MiddleStage stage;
+    DeepState snapshot;
+};
+
+} // namespace fx

@@ -1,0 +1,11 @@
+#pragma once
+
+#include "beta/widget.h"
+
+namespace fx {
+
+inline int ident(const WidgetFrame& w) {
+    return w.id;
+}
+
+} // namespace fx

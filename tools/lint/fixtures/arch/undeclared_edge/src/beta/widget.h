@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+struct WidgetFrame {
+    int id = 0;
+};
+
+} // namespace fx

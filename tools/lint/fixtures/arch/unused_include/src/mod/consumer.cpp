@@ -1,0 +1,9 @@
+#include "mod/helper.h"
+
+namespace fx {
+
+int answer() {
+    return 42;
+}
+
+} // namespace fx

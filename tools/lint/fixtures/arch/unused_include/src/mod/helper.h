@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+struct HelperGadget {
+    int n = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,303 @@
+"""scanlib — the shared source-scanning layer of the repo's linters.
+
+tools/lint/seamap_lint.py (PR 6, line-level determinism invariants) and
+tools/lint/arch_check.py (architecture conformance) both need the same
+foundation: a comment/string-stripping scanner that keeps line numbers
+accurate, the reasoned-directive suppression grammar, and deterministic
+file collection. It lives here exactly once so the two tools can never
+drift on what counts as code, what counts as a comment, or what a
+well-formed suppression looks like.
+
+Directive grammar (shared; each tool brings its own prefix, e.g.
+`seamap-lint:` or `arch-check:`):
+
+  // <prefix> allow(rule[,rule]) -- reason
+      On the offending line, or alone on the line directly above it.
+  // <prefix> push-allow(rule[,rule]) -- reason
+  // <prefix> pop-allow(rule[,rule])
+      Region form; must be balanced within the file.
+  // <prefix> <marker>
+      Tool-specific bare markers (seamap-lint: `hot-path`; arch-check:
+      `export` on an include line). Passed in via `markers`.
+
+A suppression without a `-- reason`, or an unbalanced push/pop, is a
+finding in its own right (rule id: bad-suppression) in both tools.
+
+Zero dependencies beyond the standard library, by design: every linter
+built on this must run anywhere python3 runs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+CXX_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc", ".cxx")
+
+ALLOW_RE = re.compile(r"^(allow|push-allow|pop-allow)\(([^)]*)\)\s*(?:--\s*(.*))?$")
+
+
+@dataclass
+class Directive:
+    line: int  # 1-based
+    kind: str  # allow | push-allow | pop-allow | bad | <tool marker>
+    rules: tuple
+    reason: str
+    standalone: bool  # comment is the only thing on its line
+
+
+@dataclass
+class SourceFile:
+    relpath: str
+    code_lines: list  # comment/string-stripped, parallel to the original
+    directives: list
+
+
+def parse_directive(text: str, line_no: int, standalone: bool,
+                    known_rules, markers=()) -> Directive:
+    text = text.strip()
+    if text in markers:
+        return Directive(line_no, text, (), "", standalone)
+    m = ALLOW_RE.match(text)
+    if not m:
+        return Directive(line_no, "bad", (), "unrecognized directive: %r" % text, standalone)
+    kind, rule_list, reason = m.group(1), m.group(2), m.group(3) or ""
+    rules = tuple(r.strip() for r in rule_list.split(",") if r.strip())
+    if not rules or any(r not in known_rules for r in rules):
+        return Directive(line_no, "bad", rules, "unknown rule in %r" % text, standalone)
+    if kind in ("allow", "push-allow") and not reason.strip():
+        return Directive(
+            line_no, "bad", rules,
+            "%s(%s) needs a `-- reason`" % (kind, ",".join(rules)), standalone)
+    return Directive(line_no, kind, rules, reason.strip(), standalone)
+
+
+def load_source(path: str, relpath: str, directive_prefix: str,
+                known_rules, markers=(), keep_strings: bool = False) -> SourceFile:
+    """Strip comments (and, unless `keep_strings`, the contents of
+    string/char literals) while keeping line numbers, collecting
+    `// <directive_prefix>: ...` directives from the comments as they
+    are consumed. `keep_strings` is for consumers that need literal
+    text — include targets, API-surface dumps — with comments gone."""
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+
+    directive_re = re.compile(r"//\s*%s:\s*(.+?)\s*$" % re.escape(directive_prefix))
+
+    code = []  # chars of the stripped copy
+    directives = []
+    i, n = 0, len(text)
+    line_no = 1
+    line_start_code = 0  # index into `code` where the current line began
+    state = "code"  # code | line_comment | block_comment | string | char | raw_string
+    comment_buf = []
+    comment_standalone = False
+    raw_delim = ""
+
+    def line_is_blank_so_far() -> bool:
+        return "".join(code[line_start_code:]).strip() == ""
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                comment_buf = []
+                comment_standalone = line_is_blank_so_far()
+                i += 2
+                code.append("  ")
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                code.append("  ")
+                continue
+            if ch == '"':
+                # Raw string literal R"delim( ... )delim".
+                if i > 0 and text[i - 1] == "R":
+                    m = re.match(r'"([^("]*)\(', text[i:])
+                    if m:
+                        raw_delim = ")" + m.group(1) + '"'
+                        state = "raw_string"
+                        i += 1
+                        code.append('"')
+                        continue
+                state = "string"
+                code.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                # C++14 digit separator (4'000, 0xDEAD'BEEF), not a char
+                # literal: hex digit on both sides. Char-literal prefixes
+                # (L, u, U, u8) are never hex digits, so this is safe.
+                hexdig = "0123456789abcdefABCDEF"
+                if i > 0 and text[i - 1] in hexdig and nxt in hexdig:
+                    code.append("'")
+                    i += 1
+                    continue
+                state = "char"
+                code.append("'")
+                i += 1
+                continue
+            if ch == "\n":
+                code.append("\n")
+                line_no += 1
+                line_start_code = len(code)
+                i += 1
+                continue
+            code.append(ch)
+            i += 1
+        elif state == "line_comment":
+            if ch == "\n":
+                comment = "".join(comment_buf)
+                dm = directive_re.search("//" + comment)
+                if dm:
+                    directives.append(parse_directive(
+                        dm.group(1), line_no, comment_standalone, known_rules, markers))
+                state = "code"
+                code.append("\n")
+                line_no += 1
+                line_start_code = len(code)
+                i += 1
+            else:
+                comment_buf.append(ch)
+                i += 1
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                code.append("  ")
+                i += 2
+            else:
+                code.append("\n" if ch == "\n" else " ")
+                if ch == "\n":
+                    line_no += 1
+                    line_start_code = len(code)
+                i += 1
+        elif state == "string":
+            if ch == "\\":
+                code.append(text[i:i + 2] if keep_strings else "  ")
+                i += 2
+            elif ch == '"':
+                code.append('"')
+                state = "code"
+                i += 1
+            else:
+                code.append(ch if keep_strings and ch != "\n" else
+                            ("\n" if ch == "\n" else " "))
+                if ch == "\n":
+                    line_no += 1
+                    line_start_code = len(code)
+                i += 1
+        elif state == "char":
+            if ch == "\\":
+                code.append(text[i:i + 2] if keep_strings else "  ")
+                i += 2
+            elif ch == "'":
+                code.append("'")
+                state = "code"
+                i += 1
+            else:
+                code.append(ch if keep_strings else " ")
+                i += 1
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                code.append(raw_delim if keep_strings else
+                            " " * (len(raw_delim) - 1) + '"')
+                i += len(raw_delim)
+                state = "code"
+            else:
+                code.append(ch if keep_strings and ch != "\n" else
+                            ("\n" if ch == "\n" else " "))
+                if ch == "\n":
+                    line_no += 1
+                    line_start_code = len(code)
+                i += 1
+    if state == "line_comment":
+        comment = "".join(comment_buf)
+        dm = directive_re.search("//" + comment)
+        if dm:
+            directives.append(parse_directive(
+                dm.group(1), line_no, comment_standalone, known_rules, markers))
+
+    code_lines = "".join(code).split("\n")
+    return SourceFile(relpath, code_lines, directives)
+
+
+class Suppressions:
+    """Resolves, per (line, rule), whether a finding is allowed, and
+    reports malformed/unbalanced directives as bad-suppression findings."""
+
+    def __init__(self, src: SourceFile):
+        self.line_allows = {}  # line -> set(rules)
+        self.region_allows = []  # (start_line, end_line_inclusive, set(rules))
+        self.errors = []  # (line, message)
+        open_regions = []  # (line, rules)
+
+        def next_code_line(after: int) -> int:
+            """First line after `after` with any stripped code on it, so
+            a standalone allow comment may be followed by further prose
+            comment lines before the code it targets."""
+            line = after + 1
+            while line <= len(src.code_lines) and not src.code_lines[line - 1].strip():
+                line += 1
+            return line
+
+        for d in src.directives:
+            if d.kind == "bad":
+                self.errors.append((d.line, d.reason))
+            elif d.kind == "allow":
+                target = next_code_line(d.line) if d.standalone else d.line
+                self.line_allows.setdefault(target, set()).update(d.rules)
+            elif d.kind == "push-allow":
+                open_regions.append((d.line, set(d.rules)))
+            elif d.kind == "pop-allow":
+                if not open_regions:
+                    self.errors.append((d.line, "pop-allow without matching push-allow"))
+                    continue
+                start, rules = open_regions.pop()
+                if set(d.rules) != rules:
+                    self.errors.append(
+                        (d.line, "pop-allow(%s) does not match push-allow(%s) at line %d"
+                         % (",".join(sorted(d.rules)), ",".join(sorted(rules)), start)))
+                self.region_allows.append((start, d.line, rules))
+        for start, rules in open_regions:
+            self.errors.append((start, "push-allow(%s) never popped" % ",".join(sorted(rules))))
+
+    def allowed(self, line: int, rule: str) -> bool:
+        if rule in self.line_allows.get(line, ()):
+            return True
+        return any(s <= line <= e and rule in rules
+                   for (s, e, rules) in self.region_allows)
+
+
+@dataclass
+class Finding:
+    relpath: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return "%s:%d: [%s] %s" % (self.relpath, self.line, self.rule, self.message)
+
+
+def collect_files(root: str, paths: list, extensions=CXX_EXTENSIONS) -> list:
+    """Expand files/directories into a deterministic (sorted) file list;
+    directories that do not exist are an error, so a typoed path can
+    never silently lint nothing."""
+    out = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isdir(full):
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(extensions):
+                        out.append(os.path.join(dirpath, name))
+        elif os.path.isfile(full):
+            out.append(full)
+        else:
+            raise FileNotFoundError(full)
+    return out

@@ -30,16 +30,14 @@ enforced here, at analysis time, instead of living in reviewers' heads:
                  regions. This keeps the PR 3 "zero steady-state
                  allocation" property a build-time fact, not a hope.
 
-Suppressions (every one must carry a reason):
+Suppressions use the shared reasoned-directive grammar (see
+tools/lint/scanlib.py, which owns the scanner and the grammar — the
+architecture analyzer arch_check.py shares both):
 
   // seamap-lint: allow(rule[,rule]) -- reason
-      On the offending line, or alone on the line directly above it.
   // seamap-lint: push-allow(rule[,rule]) -- reason
   // seamap-lint: pop-allow(rule[,rule])
-      Region form, for setup blocks in hot-path files. Must be
-      balanced within the file.
   // seamap-lint: hot-path
-      Marks the whole file as a hot path (activates hot-path-alloc).
 
 A suppression without a `-- reason`, or an unbalanced push/pop, is
 itself an error (rule id: bad-suppression) — the suppression file/line
@@ -65,7 +63,11 @@ import argparse
 import os
 import re
 import sys
-from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from scanlib import (Finding, SourceFile, Suppressions, collect_files,  # noqa: E402
+                     load_source)
 
 # --------------------------------------------------------------------------
 # Rules
@@ -78,6 +80,9 @@ RULES = {
     "hot-path-alloc": "allocation in a `// seamap-lint: hot-path` file outside an allowed setup region",
     "bad-suppression": "malformed seamap-lint suppression (missing reason or unbalanced push/pop)",
 }
+
+DIRECTIVE_PREFIX = "seamap-lint"
+MARKERS = ("hot-path",)
 
 # Path scoping, relative to the lint root (forward slashes).
 #   rng:            everywhere except src/util/rng.*
@@ -143,230 +148,9 @@ TRAILING_IDENT_RE = re.compile(r"([A-Za-z_]\w*)\s*(\(\s*\))?\s*$")
 
 EQ_OP_RE = re.compile(r"==|!=")
 
-DIRECTIVE_RE = re.compile(r"//\s*seamap-lint:\s*(.+?)\s*$")
-ALLOW_RE = re.compile(r"^(allow|push-allow|pop-allow)\(([^)]*)\)\s*(?:--\s*(.*))?$")
 
-
-# --------------------------------------------------------------------------
-# Source model: strip comments and strings while keeping line numbers, and
-# collect directives from the comments as we go.
-
-
-@dataclass
-class Directive:
-    line: int  # 1-based
-    kind: str  # hot-path | allow | push-allow | pop-allow | bad
-    rules: tuple
-    reason: str
-    standalone: bool  # comment is the only thing on its line
-
-
-@dataclass
-class SourceFile:
-    relpath: str
-    code_lines: list  # comment/string-stripped, parallel to the original
-    directives: list
-    hot_path: bool
-
-
-def parse_directive(text: str, line_no: int, standalone: bool) -> Directive:
-    text = text.strip()
-    if text == "hot-path":
-        return Directive(line_no, "hot-path", (), "", standalone)
-    m = ALLOW_RE.match(text)
-    if not m:
-        return Directive(line_no, "bad", (), "unrecognized directive: %r" % text, standalone)
-    kind, rule_list, reason = m.group(1), m.group(2), m.group(3) or ""
-    rules = tuple(r.strip() for r in rule_list.split(",") if r.strip())
-    if not rules or any(r not in RULES for r in rules):
-        return Directive(line_no, "bad", rules, "unknown rule in %r" % text, standalone)
-    if kind in ("allow", "push-allow") and not reason.strip():
-        return Directive(
-            line_no, "bad", rules,
-            "%s(%s) needs a `-- reason`" % (kind, ",".join(rules)), standalone)
-    return Directive(line_no, kind, rules, reason.strip(), standalone)
-
-
-def load_source(path: str, relpath: str) -> SourceFile:
-    with open(path, "r", encoding="utf-8", errors="replace") as f:
-        text = f.read()
-
-    code = []  # chars of the stripped copy
-    directives = []
-    i, n = 0, len(text)
-    line_no = 1
-    line_start_code = 0  # index into `code` where the current line began
-    state = "code"  # code | line_comment | block_comment | string | char | raw_string
-    comment_buf = []
-    raw_delim = ""
-
-    def line_is_blank_so_far() -> bool:
-        return "".join(code[line_start_code:]).strip() == ""
-
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if ch == "/" and nxt == "/":
-                state = "line_comment"
-                comment_buf = []
-                comment_standalone = line_is_blank_so_far()
-                i += 2
-                code.append("  ")
-                continue
-            if ch == "/" and nxt == "*":
-                state = "block_comment"
-                i += 2
-                code.append("  ")
-                continue
-            if ch == '"':
-                # Raw string literal R"delim( ... )delim".
-                if i > 0 and text[i - 1] == "R":
-                    m = re.match(r'"([^("]*)\(', text[i:])
-                    if m:
-                        raw_delim = ")" + m.group(1) + '"'
-                        state = "raw_string"
-                        i += 1
-                        code.append('"')
-                        continue
-                state = "string"
-                code.append('"')
-                i += 1
-                continue
-            if ch == "'":
-                state = "char"
-                code.append("'")
-                i += 1
-                continue
-            if ch == "\n":
-                code.append("\n")
-                line_no += 1
-                line_start_code = len(code)
-                i += 1
-                continue
-            code.append(ch)
-            i += 1
-        elif state == "line_comment":
-            if ch == "\n":
-                comment = "".join(comment_buf)
-                dm = DIRECTIVE_RE.search("//" + comment)
-                if dm:
-                    directives.append(parse_directive(dm.group(1), line_no, comment_standalone))
-                state = "code"
-                code.append("\n")
-                line_no += 1
-                line_start_code = len(code)
-                i += 1
-            else:
-                comment_buf.append(ch)
-                i += 1
-        elif state == "block_comment":
-            if ch == "*" and nxt == "/":
-                state = "code"
-                code.append("  ")
-                i += 2
-            else:
-                code.append("\n" if ch == "\n" else " ")
-                if ch == "\n":
-                    line_no += 1
-                    line_start_code = len(code)
-                i += 1
-        elif state == "string":
-            if ch == "\\":
-                code.append("  ")
-                i += 2
-            elif ch == '"':
-                code.append('"')
-                state = "code"
-                i += 1
-            else:
-                code.append("\n" if ch == "\n" else " ")
-                if ch == "\n":
-                    line_no += 1
-                    line_start_code = len(code)
-                i += 1
-        elif state == "char":
-            if ch == "\\":
-                code.append("  ")
-                i += 2
-            elif ch == "'":
-                code.append("'")
-                state = "code"
-                i += 1
-            else:
-                code.append(" ")
-                i += 1
-        elif state == "raw_string":
-            if text.startswith(raw_delim, i):
-                code.append(" " * (len(raw_delim) - 1) + '"')
-                i += len(raw_delim)
-                state = "code"
-            else:
-                code.append("\n" if ch == "\n" else " ")
-                if ch == "\n":
-                    line_no += 1
-                    line_start_code = len(code)
-                i += 1
-    if state == "line_comment":
-        comment = "".join(comment_buf)
-        dm = DIRECTIVE_RE.search("//" + comment)
-        if dm:
-            directives.append(parse_directive(dm.group(1), line_no, comment_standalone))
-
-    code_lines = "".join(code).split("\n")
-    hot = any(d.kind == "hot-path" for d in directives)
-    return SourceFile(relpath, code_lines, directives, hot)
-
-
-# --------------------------------------------------------------------------
-# Suppression bookkeeping
-
-
-class Suppressions:
-    """Resolves, per (line, rule), whether a finding is allowed, and
-    reports malformed/unbalanced directives as bad-suppression findings."""
-
-    def __init__(self, src: SourceFile):
-        self.line_allows = {}  # line -> set(rules)
-        self.region_allows = []  # (start_line, end_line_inclusive, set(rules))
-        self.errors = []  # (line, message)
-        open_regions = []  # (line, rules)
-
-        def next_code_line(after: int) -> int:
-            """First line after `after` with any stripped code on it, so
-            a standalone allow comment may be followed by further prose
-            comment lines before the code it targets."""
-            line = after + 1
-            while line <= len(src.code_lines) and not src.code_lines[line - 1].strip():
-                line += 1
-            return line
-
-        for d in src.directives:
-            if d.kind == "bad":
-                self.errors.append((d.line, d.reason))
-            elif d.kind == "allow":
-                target = next_code_line(d.line) if d.standalone else d.line
-                self.line_allows.setdefault(target, set()).update(d.rules)
-            elif d.kind == "push-allow":
-                open_regions.append((d.line, set(d.rules)))
-            elif d.kind == "pop-allow":
-                if not open_regions:
-                    self.errors.append((d.line, "pop-allow without matching push-allow"))
-                    continue
-                start, rules = open_regions.pop()
-                if set(d.rules) != rules:
-                    self.errors.append(
-                        (d.line, "pop-allow(%s) does not match push-allow(%s) at line %d"
-                         % (",".join(sorted(d.rules)), ",".join(sorted(rules)), start)))
-                self.region_allows.append((start, d.line, rules))
-        for start, rules in open_regions:
-            self.errors.append((start, "push-allow(%s) never popped" % ",".join(sorted(rules))))
-
-    def allowed(self, line: int, rule: str) -> bool:
-        if rule in self.line_allows.get(line, ()):
-            return True
-        return any(s <= line <= e and rule in rules
-                   for (s, e, rules) in self.region_allows)
+def load(path: str, relpath: str) -> SourceFile:
+    return load_source(path, relpath, DIRECTIVE_PREFIX, RULES, MARKERS)
 
 
 # --------------------------------------------------------------------------
@@ -470,20 +254,10 @@ def harvest_file_int_names(src: SourceFile) -> set:
 # Lint driver
 
 
-@dataclass
-class Finding:
-    relpath: str
-    line: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return "%s:%d: [%s] %s" % (self.relpath, self.line, self.rule, self.message)
-
-
 def lint_file(path: str, relpath: str, global_float_names: set) -> list:
-    src = load_source(path, relpath)
+    src = load(path, relpath)
     sup = Suppressions(src)
+    hot_path = any(d.kind == "hot-path" for d in src.directives)
     findings = [Finding(relpath, line, "bad-suppression", msg) for line, msg in sup.errors]
     file_float_names = harvest_file_float_names(src)
     float_names = global_float_names | file_float_names
@@ -517,7 +291,7 @@ def lint_file(path: str, relpath: str, global_float_names: set) -> list:
                 report("time", "`%s` — search/eval code takes time only through "
                                "CancellationToken/SearchBudget (util/cancellation.h)"
                        % m.group(0).strip())
-        if src.hot_path:
+        if hot_path:
             m = ALLOC_RE.search(line)
             if m:
                 report("hot-path-alloc",
@@ -543,26 +317,6 @@ def lint_file(path: str, relpath: str, global_float_names: set) -> list:
     return findings
 
 
-CXX_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc", ".cxx")
-
-
-def collect_files(root: str, paths: list) -> list:
-    out = []
-    for p in paths:
-        full = p if os.path.isabs(p) else os.path.join(root, p)
-        if os.path.isdir(full):
-            for dirpath, dirnames, filenames in os.walk(full):
-                dirnames.sort()
-                for name in sorted(filenames):
-                    if name.endswith(CXX_EXTENSIONS):
-                        out.append(os.path.join(dirpath, name))
-        elif os.path.isfile(full):
-            out.append(full)
-        else:
-            raise FileNotFoundError(full)
-    return out
-
-
 def run_lint(root: str, paths: list) -> list:
     files = collect_files(root, paths)
     global_float_names = harvest_float_names(root, files)
@@ -584,7 +338,7 @@ FIXTURE_RE = re.compile(r"//\s*seamap-lint-fixture:\s*(.+?)\s*$", re.MULTILINE)
 
 
 def run_self_test(fixtures_root: str) -> int:
-    files = collect_files(fixtures_root, ["."])
+    files = collect_files(fixtures_root, ["src"])
     if not files:
         print("self-test: no fixtures under %s" % fixtures_root, file=sys.stderr)
         return 2
