@@ -9,6 +9,7 @@
 
 #include "api/scenarios.h"
 #include "core/initial_mapping.h"
+#include "sim/campaign.h"
 #include "sim/fault_injection.h"
 #include "taskgraph/mpeg2.h"
 #include "tgff/random_graph.h"
@@ -293,6 +294,56 @@ void bm_fault_injection_trial(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_fault_injection_trial)->Arg(11)->Arg(100);
+
+// Campaign throughput, the BENCH_8 perf-trajectory point: injections/s
+// of the serial single-loop FaultInjector::run_campaign vs the sharded
+// CampaignEngine (register-file site only, so both run the identical
+// per-trial draw sequence). The sharded engine dispatches shards over
+// all hardware threads; on a 1-core machine the two measure the same
+// per-trial cost and the comparison degenerates to the engine's
+// dispatch overhead (the documented 1-core fallback).
+constexpr std::uint64_t k_campaign_bench_trials = 2'000;
+
+void bm_campaign_serial(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    const ScalingVector levels = {2, 2, 2, 2};
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+    const FaultInjector injector(SerModel{}, SimExposurePolicy::full_duration);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(injector.run_campaign(graph, mapping, arch, levels,
+                                                       schedule, k_campaign_bench_trials,
+                                                       7));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(k_campaign_bench_trials));
+}
+BENCHMARK(bm_campaign_serial)->Arg(11)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void bm_campaign_sharded(benchmark::State& state) {
+    const TaskGraph graph = benchmark_graph(state.range(0));
+    const MpsocArchitecture arch(4, VoltageScalingTable::arm7_three_level());
+    const Mapping mapping = round_robin_mapping(graph, 4);
+    const ScalingVector levels = {2, 2, 2, 2};
+    const Schedule schedule = ListScheduler{}.schedule(graph, mapping, arch, levels);
+    CampaignConfig config;
+    config.trials = k_campaign_bench_trials;
+    config.shard_size = 128;
+    config.num_threads = 0; // hardware
+    config.seed = 7;
+    // Register-file site only: the identical draw sequence the serial
+    // campaign runs, so items/s compare like for like.
+    config.weights.pipeline = 0.0;
+    config.weights.memory = 0.0;
+    const CampaignEngine engine(SerModel{}, config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(graph, mapping, arch, levels, schedule));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(k_campaign_bench_trials));
+}
+BENCHMARK(bm_campaign_sharded)->Arg(11)->Arg(100)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace seamap

@@ -84,4 +84,59 @@ JsonValue optimize_report_json(const Problem& problem, std::string_view strategy
     return out;
 }
 
+JsonValue to_json(const ExactMoments& stats) {
+    JsonValue out = JsonValue::object();
+    out["mean"] = stats.mean();
+    out["stdev"] = stats.stdev();
+    out["ci95_halfwidth"] = stats.ci95_halfwidth();
+    out["min"] = stats.min();
+    out["max"] = stats.max();
+    out["hits"] = stats.sum();
+    return out;
+}
+
+JsonValue to_json(const CampaignReport& report) {
+    JsonValue out = JsonValue::object();
+    out["trials"] = report.trials;
+    out["shards"] = report.shards;
+    out["shard_size"] = report.shard_size;
+    out["seed"] = report.seed;
+    out["analytic_gamma"] = report.analytic_gamma;
+    out["total"] = to_json(report.total_stats);
+    JsonValue sites = JsonValue::object();
+    // Fixed enum order keeps the document deterministic.
+    for (std::size_t s = 0; s < k_fault_site_count; ++s) {
+        const FaultSite site = static_cast<FaultSite>(s);
+        const SiteReport& site_report = report.site(site);
+        JsonValue keyed = JsonValue::object();
+        keyed["analytic_gamma"] = site_report.analytic_gamma;
+        keyed["mean"] = site_report.stats.mean();
+        keyed["stdev"] = site_report.stats.stdev();
+        keyed["ci95_halfwidth"] = site_report.stats.ci95_halfwidth();
+        keyed["min"] = site_report.stats.min();
+        keyed["max"] = site_report.stats.max();
+        keyed["hits"] = site_report.stats.sum();
+        sites[fault_site_name(site)] = std::move(keyed);
+    }
+    out["sites"] = std::move(sites);
+    JsonValue per_core = JsonValue::array();
+    for (const std::uint64_t hits : report.hits_per_core) per_core.push_back(hits);
+    out["hits_per_core"] = std::move(per_core);
+    JsonValue per_task = JsonValue::array();
+    for (const std::uint64_t hits : report.hits_per_task) per_task.push_back(hits);
+    out["hits_per_task"] = std::move(per_task);
+    return out;
+}
+
+JsonValue campaign_report_json(const Problem& problem, std::string_view strategy_name,
+                               const DsePoint* design, const CampaignReport* report) {
+    JsonValue out = JsonValue::object();
+    out["seamap_version"] = k_version_string;
+    out["strategy"] = strategy_name;
+    out["problem"] = to_json(problem);
+    out["design"] = design ? to_json(*design) : JsonValue();
+    if (design && report) out["campaign"] = to_json(*report);
+    return out;
+}
+
 } // namespace seamap

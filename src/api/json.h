@@ -26,12 +26,29 @@
 // where <point> = {"levels": [..], "core_of": [..], "metrics":
 // {"tm_seconds", "latency_seconds", "register_bits", "gamma",
 // "power_mw", "feasible"}}.
+// Schema of campaign_report_json (the `campaign --json` document):
+//   {
+//     "seamap_version", "strategy",
+//     "design": <point> | null,
+//     "campaign": {                      // absent when design is null
+//       "trials", "shards", "shard_size", "seed",
+//       "analytic_gamma",
+//       "total": <stats>,
+//       "sites": {"register_file": {"analytic_gamma", ...<stats>},
+//                 "pipeline": {...}, "memory": {...}},
+//       "hits_per_core": [..], "hits_per_task": [..]
+//     }
+//   }
+// where <stats> = {"mean", "stdev", "ci95_halfwidth", "min", "max",
+// "hits"} over the per-trial hit counts.
 #pragma once
 
 #include "api/problem.h"
 #include "core/dse.h"
 #include "reliability/design_eval.h"
+#include "sim/campaign.h"
 #include "util/json.h"
+#include "util/stats.h"
 
 #include <string_view>
 
@@ -41,9 +58,17 @@ JsonValue to_json(const DesignMetrics& metrics);
 JsonValue to_json(const DsePoint& point);
 JsonValue to_json(const DseResult& result);
 JsonValue to_json(const Problem& problem);
+JsonValue to_json(const ExactMoments& stats);
+JsonValue to_json(const CampaignReport& report);
 
 /// The complete `optimize --json` document (see schema above).
 JsonValue optimize_report_json(const Problem& problem, std::string_view strategy_name,
                                const DseResult& result);
+
+/// The complete `campaign --json` document (see schema above): the
+/// explored design plus the sharded campaign's measurement report.
+/// Byte-identical for every thread count and shard schedule.
+JsonValue campaign_report_json(const Problem& problem, std::string_view strategy_name,
+                               const DsePoint* design, const CampaignReport* report);
 
 } // namespace seamap

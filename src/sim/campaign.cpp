@@ -1,0 +1,195 @@
+#include "sim/campaign.h"
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace seamap {
+
+std::string_view fault_site_name(FaultSite site) {
+    switch (site) {
+    case FaultSite::register_file: return "register_file";
+    case FaultSite::pipeline: return "pipeline";
+    case FaultSite::memory: return "memory";
+    }
+    throw std::invalid_argument("fault_site_name: unknown site");
+}
+
+double FaultSiteWeights::of(FaultSite site) const {
+    switch (site) {
+    case FaultSite::register_file: return register_file;
+    case FaultSite::pipeline: return pipeline;
+    case FaultSite::memory: return memory;
+    }
+    throw std::invalid_argument("FaultSiteWeights: unknown site");
+}
+
+namespace {
+
+void validate_config(const CampaignConfig& config) {
+    if (config.trials == 0)
+        throw std::invalid_argument("CampaignEngine: campaign needs >= 1 trial");
+    if (config.shard_size == 0)
+        throw std::invalid_argument("CampaignEngine: shard_size must be >= 1");
+    if (config.weights.register_file < 0.0 || config.weights.pipeline < 0.0 ||
+        config.weights.memory < 0.0)
+        throw std::invalid_argument("CampaignEngine: site weights must be >= 0");
+    if (config.pipeline_bits < 0.0)
+        throw std::invalid_argument("CampaignEngine: pipeline_bits must be >= 0");
+}
+
+/// Shard-local accumulators; one slot per shard, written only by the
+/// worker that owns the shard, merged in shard order afterwards. Every
+/// field is an exact integer, so the merged result is independent of
+/// the shard schedule.
+struct ShardAccum {
+    ExactMoments total;
+    std::array<ExactMoments, k_fault_site_count> per_site;
+    std::vector<std::uint64_t> hits_per_core;
+    std::vector<std::uint64_t> hits_per_task;
+};
+
+} // namespace
+
+CampaignEngine::CampaignEngine(SerModel ser, CampaignConfig config)
+    : ser_(std::move(ser)), config_(config) {
+    validate_config(config_);
+}
+
+std::vector<FaultSource> CampaignEngine::build_sources(const TaskGraph& graph,
+                                                       const Mapping& mapping,
+                                                       const MpsocArchitecture& arch,
+                                                       const ScalingVector& levels,
+                                                       const Schedule& schedule) const {
+    arch.validate_scaling(levels);
+    const RegisterFile& regs = graph.register_file();
+    // Per-core physical rates, hoisted once per campaign.
+    std::vector<double> rate(arch.core_count(), 0.0);
+    for (std::size_t c = 0; c < rate.size(); ++c)
+        rate[c] = ser_.ser_per_bit_second(arch.scaling_table().vdd(levels[c]));
+
+    std::vector<FaultSource> sources;
+
+    // Site 1: register file — the eq. (3) exposure profile under the
+    // configured policy. Union residency has no single owning task.
+    const auto profile =
+        build_exposure_profile(graph, mapping, arch, schedule, config_.policy);
+    for (const auto& interval : profile) {
+        FaultSource source;
+        source.site = FaultSite::register_file;
+        source.core = interval.core;
+        source.task = k_no_task;
+        source.mean_seus = static_cast<double>(interval.live.bits_in(regs)) *
+                           interval.duration_seconds * rate[interval.core] *
+                           config_.weights.register_file;
+        sources.push_back(source);
+    }
+
+    // Site 2: pipeline — latch bits live on a core exactly while it
+    // executes a task, summed over all batch iterations.
+    const double batches = static_cast<double>(graph.batch_count());
+    for (TaskId t = 0; t < graph.task_count(); ++t) {
+        const CoreId core = mapping.core_of(t);
+        const double busy = (schedule.entries[t].finish_seconds -
+                             schedule.entries[t].start_seconds) *
+                            batches;
+        FaultSource source;
+        source.site = FaultSite::pipeline;
+        source.core = core;
+        source.task = t;
+        source.mean_seus =
+            config_.pipeline_bits * busy * rate[core] * config_.weights.pipeline;
+        sources.push_back(source);
+    }
+
+    // Site 3: memory residency — the task's register image stays
+    // resident for the whole run [0, T_M] on its core's memory.
+    for (TaskId t = 0; t < graph.task_count(); ++t) {
+        const CoreId core = mapping.core_of(t);
+        FaultSource source;
+        source.site = FaultSite::memory;
+        source.core = core;
+        source.task = t;
+        source.mean_seus = static_cast<double>(graph.task(t).registers.bits_in(regs)) *
+                           schedule.total_time_seconds * rate[core] *
+                           config_.weights.memory;
+        sources.push_back(source);
+    }
+    return sources;
+}
+
+CampaignReport CampaignEngine::run(const TaskGraph& graph, const Mapping& mapping,
+                                   const MpsocArchitecture& arch,
+                                   const ScalingVector& levels,
+                                   const Schedule& schedule) const {
+    const std::vector<FaultSource> sources =
+        build_sources(graph, mapping, arch, levels, schedule);
+    const std::uint64_t trials = config_.trials;
+    const std::uint64_t shard_size = config_.shard_size;
+    const std::uint64_t shard_count = (trials + shard_size - 1) / shard_size;
+    const std::size_t cores = arch.core_count();
+    const std::size_t tasks = graph.task_count();
+
+    // Pre-assigned result slots: worker s writes only shards[s]; the
+    // deterministic merge below folds them in shard-index order (and
+    // since every accumulator is exact, any fold order would produce
+    // the same bytes anyway).
+    std::vector<ShardAccum> shards(shard_count);
+    const std::uint64_t seed = config_.seed;
+    parallel_for_index(
+        static_cast<std::size_t>(shard_count), config_.num_threads,
+        [&](std::size_t shard) {
+            ShardAccum& acc = shards[shard];
+            acc.hits_per_core.assign(cores, 0);
+            acc.hits_per_task.assign(tasks, 0);
+            const Rng root(seed);
+            const std::uint64_t lo = static_cast<std::uint64_t>(shard) * shard_size;
+            const std::uint64_t hi = std::min(trials, lo + shard_size);
+            std::array<std::uint64_t, k_fault_site_count> trial_site{};
+            for (std::uint64_t trial = lo; trial < hi; ++trial) {
+                // The stream is a pure function of (seed, trial): any
+                // shard schedule replays identical draws per trial.
+                Rng stream = root.fork_at(trial);
+                trial_site.fill(0);
+                std::uint64_t trial_total = 0;
+                for (const FaultSource& source : sources) {
+                    const std::uint64_t hits = stream.poisson(source.mean_seus);
+                    if (hits == 0) continue;
+                    trial_site[static_cast<std::size_t>(source.site)] += hits;
+                    trial_total += hits;
+                    acc.hits_per_core[source.core] += hits;
+                    if (source.task != k_no_task) acc.hits_per_task[source.task] += hits;
+                }
+                for (std::size_t s = 0; s < k_fault_site_count; ++s)
+                    acc.per_site[s].add(trial_site[s]);
+                acc.total.add(trial_total);
+            }
+        });
+
+    CampaignReport report;
+    report.trials = trials;
+    report.shard_size = shard_size;
+    report.shards = shard_count;
+    report.seed = seed;
+    report.hits_per_core.assign(cores, 0);
+    report.hits_per_task.assign(tasks, 0);
+    for (const FaultSource& source : sources) {
+        report.analytic_gamma += source.mean_seus;
+        report.sites[static_cast<std::size_t>(source.site)].analytic_gamma +=
+            source.mean_seus;
+    }
+    for (const ShardAccum& acc : shards) {
+        report.total_stats.merge(acc.total);
+        for (std::size_t s = 0; s < k_fault_site_count; ++s)
+            report.sites[s].stats.merge(acc.per_site[s]);
+        for (std::size_t c = 0; c < cores; ++c)
+            report.hits_per_core[c] += acc.hits_per_core[c];
+        for (std::size_t t = 0; t < tasks; ++t)
+            report.hits_per_task[t] += acc.hits_per_task[t];
+    }
+    return report;
+}
+
+} // namespace seamap

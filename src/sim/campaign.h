@@ -1,0 +1,164 @@
+// Sharded fault-injection campaign engine — the measurement-side
+// counterpart of the analytic Γ model (eq. 3) at statistically
+// meaningful trial counts. Trials are cut into fixed-size blocks
+// (shards) dispatched on the project thread pool; trial t always draws
+// from the order-invariant stream Rng(seed).fork_at(t) and every
+// accumulator merged across shards is an exact integer moment
+// (util/stats.h ExactMoments), so the merged report is byte-identical
+// for ANY thread count and ANY shard size — the PR 1/4
+// enumeration-order merge discipline applied to statistics.
+//
+// Faults are injected at differentiated sites, following the
+// component-level triage of CFA-style frameworks (register file vs
+// pipeline vs memory residency):
+//
+//  - register_file: the exposure profile of sim/exposure.h (live
+//    register bits under the configured policy) — weight 1 reproduces
+//    the analytic Γ of eq. (3) exactly in expectation, which is the
+//    campaign's validation surface against SeuEstimator;
+//  - pipeline: per-task latch exposure — `pipeline_bits` of pipeline
+//    state are vulnerable on a core exactly while it executes a task,
+//    attributed to that task;
+//  - memory: residency exposure — a task's register image is resident
+//    in memory for the whole run [0, T_M], attributed to the task.
+//
+// Each site scales the physical SER by its own weight on top of
+// SerModel; hits are attributed per task, per core and per component,
+// and every site reports mean / stdev / 95% CI over the per-trial hit
+// counts.
+#pragma once
+
+#include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
+#include "reliability/ser_model.h"
+#include "sched/list_scheduler.h"
+#include "sched/mapping.h"
+#include "sim/exposure.h"
+#include "taskgraph/task_graph.h"
+#include "util/stats.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace seamap {
+
+/// Differentiated fault-site components.
+enum class FaultSite : std::uint8_t {
+    register_file = 0,
+    pipeline = 1,
+    memory = 2,
+};
+
+inline constexpr std::size_t k_fault_site_count = 3;
+
+/// Stable lower-case name ("register_file", "pipeline", "memory").
+std::string_view fault_site_name(FaultSite site);
+
+/// Per-site multiplier on the physical SER rate. register_file at 1.0
+/// makes that site's expectation exactly the analytic Γ of eq. (3);
+/// the pipeline/memory defaults reflect the smaller latch cross
+/// section and the stronger protection (ECC) of memory arrays.
+struct FaultSiteWeights {
+    double register_file = 1.0;
+    double pipeline = 0.25;
+    double memory = 0.05;
+
+    double of(FaultSite site) const;
+};
+
+/// Campaign shape: trial count, shard granularity, parallelism, seed
+/// and the fault-site model. Results never depend on num_threads or
+/// shard_size (only throughput does).
+struct CampaignConfig {
+    std::uint64_t trials = 10'000;
+    /// Trials per dispatched shard (block). Must be >= 1.
+    std::uint64_t shard_size = 1024;
+    /// Worker threads; 0 means hardware concurrency.
+    std::size_t num_threads = 1;
+    std::uint64_t seed = 1;
+    SimExposurePolicy policy = SimExposurePolicy::full_duration;
+    FaultSiteWeights weights;
+    /// Pipeline latch bits vulnerable on a core while it executes.
+    double pipeline_bits = 512.0;
+};
+
+/// Sentinel task id for fault sources not attributable to one task
+/// (union register residency).
+inline constexpr TaskId k_no_task = std::numeric_limits<TaskId>::max();
+
+/// One Poisson fault source: a component's bits on one core, exposed
+/// for a fixed duration, with the campaign-invariant Poisson mean
+/// precomputed once (bits x seconds x site-weighted SER rate).
+struct FaultSource {
+    FaultSite site = FaultSite::register_file;
+    CoreId core = 0;
+    TaskId task = k_no_task;
+    double mean_seus = 0.0;
+};
+
+/// Per-site results: the analytic expectation and the exact-moment
+/// statistics (mean / stdev / 95% CI) over per-trial hit counts.
+struct SiteReport {
+    double analytic_gamma = 0.0;
+    ExactMoments stats;
+};
+
+/// Merged campaign result. All counters are exact integers folded
+/// deterministically across shards; byte-identical for any thread
+/// count and shard schedule.
+struct CampaignReport {
+    std::uint64_t trials = 0;
+    std::uint64_t shard_size = 0;
+    std::uint64_t shards = 0;
+    std::uint64_t seed = 0;
+    /// Weighted expectation summed over every site.
+    double analytic_gamma = 0.0;
+    /// Per-trial totals over all sites.
+    ExactMoments total_stats;
+    /// Indexed by FaultSite.
+    std::array<SiteReport, k_fault_site_count> sites;
+    /// Hit attribution summed over all trials and sites.
+    std::vector<std::uint64_t> hits_per_core;
+    /// Task-attributable hits (pipeline + memory sites); union register
+    /// residency has no single owning task and lands only in per-core.
+    std::vector<std::uint64_t> hits_per_task;
+
+    const SiteReport& site(FaultSite s) const {
+        return sites[static_cast<std::size_t>(s)];
+    }
+};
+
+/// The campaign engine: bind an SER model and a configuration, then
+/// run scheduled designs through it.
+class CampaignEngine {
+public:
+    CampaignEngine(SerModel ser, CampaignConfig config);
+
+    const SerModel& ser_model() const { return ser_; }
+    const CampaignConfig& config() const { return config_; }
+
+    /// The campaign-invariant fault-source table for one scheduled
+    /// design: every (site, core, task) exposure with its precomputed
+    /// Poisson mean, in the fixed enumeration order trials draw in
+    /// (register-file profile order, then pipeline by task id, then
+    /// memory by task id). Exposed for tests and attribution tooling.
+    std::vector<FaultSource> build_sources(const TaskGraph& graph, const Mapping& mapping,
+                                           const MpsocArchitecture& arch,
+                                           const ScalingVector& levels,
+                                           const Schedule& schedule) const;
+
+    /// Run the sharded campaign over a scheduled design.
+    CampaignReport run(const TaskGraph& graph, const Mapping& mapping,
+                       const MpsocArchitecture& arch, const ScalingVector& levels,
+                       const Schedule& schedule) const;
+
+private:
+    SerModel ser_;
+    CampaignConfig config_;
+};
+
+} // namespace seamap

@@ -7,11 +7,20 @@ namespace seamap {
 FaultInjector::FaultInjector(SerModel ser, SimExposurePolicy policy, bool sample_locations)
     : ser_(std::move(ser)), policy_(policy), sample_locations_(sample_locations) {}
 
-InjectionResult FaultInjector::inject_profile(const std::vector<ExposureInterval>& profile,
-                                              const TaskGraph& graph,
-                                              const MpsocArchitecture& arch,
-                                              const ScalingVector& levels, Rng& rng) const {
+std::vector<double> FaultInjector::core_rate_table(const MpsocArchitecture& arch,
+                                                   const ScalingVector& levels) const {
     arch.validate_scaling(levels);
+    std::vector<double> rates(arch.core_count(), 0.0);
+    for (std::size_t c = 0; c < rates.size(); ++c)
+        rates[c] = ser_.ser_per_bit_second(arch.scaling_table().vdd(levels[c]));
+    return rates;
+}
+
+InjectionResult FaultInjector::inject_profile_rates(const std::vector<ExposureInterval>& profile,
+                                                    const TaskGraph& graph,
+                                                    const MpsocArchitecture& arch,
+                                                    const std::vector<double>& core_rates,
+                                                    Rng& rng) const {
     const RegisterFile& regs = graph.register_file();
 
     InjectionResult result;
@@ -23,8 +32,7 @@ InjectionResult FaultInjector::inject_profile(const std::vector<ExposureInterval
             throw std::out_of_range("FaultInjector: bad core id in profile");
         if (interval.duration_seconds < 0.0)
             throw std::invalid_argument("FaultInjector: negative exposure duration");
-        const double rate =
-            ser_.ser_per_bit_second(arch.scaling_table().vdd(levels[interval.core]));
+        const double rate = core_rates[interval.core];
         if (sample_locations_) {
             // Independent Poisson streams per register; the sum of the
             // per-register draws is exactly the interval's Poisson count.
@@ -46,6 +54,17 @@ InjectionResult FaultInjector::inject_profile(const std::vector<ExposureInterval
     return result;
 }
 
+InjectionResult FaultInjector::inject_profile(const std::vector<ExposureInterval>& profile,
+                                              const TaskGraph& graph,
+                                              const MpsocArchitecture& arch,
+                                              const ScalingVector& levels, Rng& rng) const {
+    // The rate for an interval is a pure function of its core's Vdd, so
+    // tabulating per core up front is bit-identical to recomputing per
+    // interval — the table entry IS ser_per_bit_second(vdd(level)).
+    const std::vector<double> rates = core_rate_table(arch, levels);
+    return inject_profile_rates(profile, graph, arch, rates, rng);
+}
+
 InjectionResult FaultInjector::inject(const TaskGraph& graph, const Mapping& mapping,
                                       const MpsocArchitecture& arch, const ScalingVector& levels,
                                       const Schedule& schedule, Rng& rng) const {
@@ -59,15 +78,22 @@ CampaignSummary FaultInjector::run_campaign(const TaskGraph& graph, const Mappin
                                             const Schedule& schedule, std::uint64_t trials,
                                             std::uint64_t seed) const {
     if (trials == 0) throw std::invalid_argument("FaultInjector: campaign needs >= 1 trial");
+    // Campaign-invariant state hoisted out of the trial loop: the
+    // exposure profile, the scaling validation and the per-core SER
+    // rates are all independent of the trial index.
     const auto profile = build_exposure_profile(graph, mapping, arch, schedule, policy_);
+    const std::vector<double> rates = core_rate_table(arch, levels);
 
     CampaignSummary summary;
     summary.trials = trials;
     summary.analytic_gamma = expected_seus(profile, graph, arch, levels, ser_);
-    Rng root(seed);
+    const Rng root(seed);
     for (std::uint64_t trial = 0; trial < trials; ++trial) {
-        Rng stream = root.fork(trial);
-        const auto result = inject_profile(profile, graph, arch, levels, stream);
+        // fork_at: trial streams are a pure function of (seed, trial),
+        // independent of fork call order — the same streams a sharded
+        // campaign reproduces for any shard schedule.
+        Rng stream = root.fork_at(trial);
+        const auto result = inject_profile_rates(profile, graph, arch, rates, stream);
         summary.seu_stats.add(static_cast<double>(result.total_seus));
     }
     return summary;

@@ -36,11 +36,18 @@ struct InjectionResult {
     std::vector<std::uint64_t> per_register;
 };
 
-/// Summary of a multi-trial campaign.
+/// Summary of a multi-trial campaign. The promised mean / stdev /
+/// 95% CI are surfaced directly (forwarding to the underlying
+/// accumulator) so callers and JSON reports need not reach into
+/// seu_stats for the headline numbers.
 struct CampaignSummary {
     RunningStats seu_stats;     ///< over per-trial totals
     double analytic_gamma = 0.0;///< expected value (eq. 3 under the policy)
     std::uint64_t trials = 0;
+
+    double mean() const { return seu_stats.mean(); }
+    double stdev() const { return seu_stats.stdev(); }
+    double ci95_halfwidth() const { return seu_stats.ci95_halfwidth(); }
 };
 
 /// Poisson SEU injector bound to an SER model and exposure policy.
@@ -62,7 +69,25 @@ public:
                                    const TaskGraph& graph, const MpsocArchitecture& arch,
                                    const ScalingVector& levels, Rng& rng) const;
 
-    /// `trials` independent trials (forked RNG streams from `seed`).
+    /// Campaign-invariant per-core SER rate table: rates[c] =
+    /// ser_per_bit_second(vdd(levels[c])). Validates the scaling once;
+    /// the per-trial path below then runs lookup-only.
+    std::vector<double> core_rate_table(const MpsocArchitecture& arch,
+                                        const ScalingVector& levels) const;
+
+    /// One trial against a precomputed rate table (no per-trial
+    /// validate_scaling / ser_per_bit_second recomputation). Identical
+    /// arithmetic and draw sequence to inject_profile, which is a thin
+    /// wrapper over this.
+    InjectionResult inject_profile_rates(const std::vector<ExposureInterval>& profile,
+                                         const TaskGraph& graph,
+                                         const MpsocArchitecture& arch,
+                                         const std::vector<double>& core_rates,
+                                         Rng& rng) const;
+
+    /// `trials` independent trials. Trial t draws from the
+    /// order-invariant stream Rng(seed).fork_at(t); the exposure
+    /// profile and per-core rate table are built once per campaign.
     CampaignSummary run_campaign(const TaskGraph& graph, const Mapping& mapping,
                                  const MpsocArchitecture& arch, const ScalingVector& levels,
                                  const Schedule& schedule, std::uint64_t trials,

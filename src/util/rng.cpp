@@ -54,7 +54,11 @@ std::uint64_t Rng::poisson(double mean) {
         const long long draw = dist(engine_);
         return static_cast<std::uint64_t>(draw < 0 ? 0 : draw);
     }
-    const double draw = mean + std::sqrt(mean) * normal();
+    return poisson_from_normal(mean, normal());
+}
+
+std::uint64_t poisson_from_normal(double mean, double standard_normal) {
+    const double draw = mean + std::sqrt(mean) * standard_normal;
     if (draw <= 0.0) return 0;
     return static_cast<std::uint64_t>(std::llround(draw));
 }
@@ -68,6 +72,17 @@ Rng Rng::fork(std::uint64_t child_id) {
     // Mix the parent's current state with the child id; both inputs go
     // through splitmix64 inside the child's constructor.
     return Rng(splitmix64(engine_()) ^ splitmix64(child_id * 0xd1342543de82ef95ULL + 1));
+}
+
+Rng Rng::fork_at(std::uint64_t child_id) const {
+    // Pure function of (seed_, child_id): splitmix64 over the seed,
+    // xored with the Weyl-stepped mixed child id. The parent engine is
+    // untouched, so fork_at(k) is the same stream no matter how many
+    // draws or forks came before — the order-invariance the sharded
+    // campaign merge discipline relies on. The extra Weyl constant
+    // keeps fork_at(0) distinct from the parent's own stream and from
+    // fork() children.
+    return Rng(splitmix64(seed_) ^ splitmix64(child_id * 0xd1342543de82ef95ULL + 1));
 }
 
 } // namespace seamap

@@ -45,7 +45,23 @@ public:
 
     /// Derive an independent child stream. Children created with
     /// different `child_id`s (or from different parents) do not overlap.
+    ///
+    /// NOTE: fork() advances the parent engine, so the child produced
+    /// for a given `child_id` depends on how many draws/forks preceded
+    /// the call. Sharded consumers that need an order-invariant stream
+    /// per child (campaign shards, per-trial streams) must use
+    /// fork_at() instead.
     Rng fork(std::uint64_t child_id);
+
+    /// Order-invariant fork: the child stream is a pure function of
+    /// (seed(), child_id) — splitmix64 over seed ⊕ mixed child id — so
+    /// it does not depend on the parent's draw position or on how many
+    /// forks happened before, and the call is `const`. Children with
+    /// different ids (or from parents with different seeds) are
+    /// statistically independent. This is the fork the sharded
+    /// fault-injection campaign uses: any shard schedule reproduces
+    /// bit-identical per-trial streams.
+    Rng fork_at(std::uint64_t child_id) const;
 
     /// The (pre-mix) seed this stream was created with.
     std::uint64_t seed() const { return seed_; }
@@ -58,5 +74,12 @@ private:
 /// splitmix64 mixing function; used for seed derivation and exposed for
 /// tests and for hashing small tuples into seeds.
 std::uint64_t splitmix64(std::uint64_t x);
+
+/// The rounded-normal mapping Rng::poisson uses above its 2^31
+/// cutover: mean + sqrt(mean) * z, clamped at zero and rounded to the
+/// nearest integer. Pure function, exposed so the clamp and rounding
+/// behaviour are unit-testable without steering the engine onto a
+/// 6-sigma draw.
+std::uint64_t poisson_from_normal(double mean, double standard_normal);
 
 } // namespace seamap

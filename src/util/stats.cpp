@@ -59,6 +59,59 @@ void RunningStats::merge(const RunningStats& other) {
     max_ = std::max(max_, other.max_);
 }
 
+void ExactMoments::add(std::uint64_t x) {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    sum_sq_ += static_cast<unsigned __int128>(x) * x;
+}
+
+void ExactMoments::merge(const ExactMoments& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double ExactMoments::mean() const {
+    if (count_ == 0) return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double ExactMoments::variance() const {
+    if (count_ < 2) return 0.0;
+    // n * sum_sq - sum^2 is exact in 128-bit arithmetic for every
+    // supported campaign size; the single division happens in double.
+    const unsigned __int128 n = count_;
+    const unsigned __int128 scaled_sq = n * sum_sq_;
+    const unsigned __int128 sum_squared = sum_ * sum_;
+    if (scaled_sq <= sum_squared) return 0.0; // constant samples
+    const double numerator = static_cast<double>(scaled_sq - sum_squared);
+    return numerator /
+           (static_cast<double>(count_) * static_cast<double>(count_ - 1));
+}
+
+double ExactMoments::stdev() const { return std::sqrt(variance()); }
+
+double ExactMoments::stderr_mean() const {
+    if (count_ < 2) return 0.0;
+    return stdev() / std::sqrt(static_cast<double>(count_));
+}
+
+double ExactMoments::ci95_halfwidth() const { return 1.959964 * stderr_mean(); }
+
 double mean_of(std::span<const double> xs) {
     RunningStats s;
     for (double x : xs) s.add(x);

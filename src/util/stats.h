@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace seamap {
@@ -36,6 +37,47 @@ private:
     double m2_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+};
+
+/// Moment accumulator for unsigned-integer samples (per-trial SEU
+/// counts) whose *state* is exact: count, sum and sum of squares are
+/// 128-bit integers, so add() and merge() are associative and
+/// commutative with no rounding. Any partition of a sample set into
+/// shards, merged in any order, reproduces byte-identical state — and
+/// the derived mean/stdev/CI are pure functions of that state, so a
+/// sharded campaign's statistics are bit-identical for every thread
+/// count and shard size. (RunningStats' Welford merge is deterministic
+/// only for a fixed merge tree; this is the stronger guarantee the
+/// campaign engine needs.) Exact while sums fit 128 bits: ~2^30 trials
+/// of counts up to ~2^32 are far inside the envelope.
+class ExactMoments {
+public:
+    void add(std::uint64_t x);
+
+    /// Exact merge of another accumulator (integer additions only).
+    void merge(const ExactMoments& other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+    /// Exact sum of the samples (fits uint64 in every supported regime).
+    std::uint64_t sum() const { return static_cast<std::uint64_t>(sum_); }
+    double mean() const;
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    double variance() const;
+    double stdev() const;
+    /// Standard error of the mean; 0 for fewer than two samples.
+    double stderr_mean() const;
+    /// Half-width of the 95% normal-approximation confidence interval
+    /// on the mean (same constant as RunningStats::ci95_halfwidth).
+    double ci95_halfwidth() const;
+
+private:
+    std::uint64_t count_ = 0;
+    unsigned __int128 sum_ = 0;
+    unsigned __int128 sum_sq_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
 };
 
 /// Mean of a span; 0 for an empty span.

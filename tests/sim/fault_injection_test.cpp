@@ -124,6 +124,68 @@ TEST(FaultInjector, ZeroTrialCampaignThrows) {
         std::invalid_argument);
 }
 
+TEST(FaultInjector, CampaignSummarySurfacesHeadlineStatistics) {
+    // The summary must expose mean / stdev / 95% CI directly; the CI
+    // half-width in particular used to be computed by the accumulator
+    // but never surfaced.
+    Fixture f;
+    const FaultInjector injector(f.ser, SimExposurePolicy::full_duration);
+    const auto summary =
+        injector.run_campaign(f.graph, f.mapping, f.arch, f.levels, f.schedule, 120, 9);
+    EXPECT_DOUBLE_EQ(summary.mean(), summary.seu_stats.mean());
+    EXPECT_DOUBLE_EQ(summary.stdev(), summary.seu_stats.stdev());
+    EXPECT_DOUBLE_EQ(summary.ci95_halfwidth(), summary.seu_stats.ci95_halfwidth());
+    EXPECT_GT(summary.ci95_halfwidth(), 0.0);
+    EXPECT_NEAR(summary.ci95_halfwidth(), 1.959964 * summary.seu_stats.stderr_mean(),
+                1e-12);
+}
+
+TEST(FaultInjector, CampaignPinnedToForkAtReferenceLoop) {
+    // Pins the two refactors bit-exactly: run_campaign must equal a
+    // hand-rolled loop that (a) derives trial streams with the
+    // order-invariant fork_at and (b) goes through the public
+    // inject_profile path — so neither the rate-table hoist nor the
+    // fork migration changed a single draw.
+    Fixture f;
+    const FaultInjector injector(f.ser, SimExposurePolicy::full_duration);
+    const std::uint64_t trials = 80, seed = 314;
+    const auto summary =
+        injector.run_campaign(f.graph, f.mapping, f.arch, f.levels, f.schedule, trials, seed);
+
+    const auto profile = build_exposure_profile(f.graph, f.mapping, f.arch, f.schedule,
+                                                SimExposurePolicy::full_duration);
+    RunningStats reference;
+    const Rng root(seed);
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        Rng stream = root.fork_at(trial);
+        reference.add(static_cast<double>(
+            injector.inject_profile(profile, f.graph, f.arch, f.levels, stream).total_seus));
+    }
+    EXPECT_EQ(summary.seu_stats.count(), reference.count());
+    EXPECT_DOUBLE_EQ(summary.seu_stats.mean(), reference.mean());
+    EXPECT_DOUBLE_EQ(summary.seu_stats.variance(), reference.variance());
+    EXPECT_DOUBLE_EQ(summary.seu_stats.min(), reference.min());
+    EXPECT_DOUBLE_EQ(summary.seu_stats.max(), reference.max());
+}
+
+TEST(FaultInjector, RateTablePathMatchesInjectProfileExactly) {
+    Fixture f;
+    const FaultInjector injector(f.ser, SimExposurePolicy::full_duration);
+    const auto profile = build_exposure_profile(f.graph, f.mapping, f.arch, f.schedule,
+                                                SimExposurePolicy::full_duration);
+    const auto rates = injector.core_rate_table(f.arch, f.levels);
+    ASSERT_EQ(rates.size(), f.arch.core_count());
+    Rng rng_a(404), rng_b(404);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto via_profile =
+            injector.inject_profile(profile, f.graph, f.arch, f.levels, rng_a);
+        const auto via_rates =
+            injector.inject_profile_rates(profile, f.graph, f.arch, rates, rng_b);
+        EXPECT_EQ(via_profile.total_seus, via_rates.total_seus);
+        EXPECT_EQ(via_profile.per_core, via_rates.per_core);
+    }
+}
+
 TEST(FaultInjector, LocationAndAggregateModesAgreeInExpectation) {
     Fixture f;
     const FaultInjector aggregate(f.ser, SimExposurePolicy::full_duration, false);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -161,6 +162,123 @@ TEST(Rng, ForkIsDeterministicGivenParentState) {
 TEST(Rng, SeedAccessorReturnsOriginalSeed) {
     Rng rng(12345);
     EXPECT_EQ(rng.seed(), 12345u);
+}
+
+TEST(Rng, ForkAtIsOrderInvariant) {
+    // fork() depends on the parent's draw position; fork_at() must not.
+    // A fresh parent and one that has drawn, forked, and forked_at in
+    // arbitrary order must hand out identical fork_at children.
+    Rng pristine(101);
+    Rng busy(101);
+    for (int i = 0; i < 37; ++i) busy.next_u64();
+    (void)busy.fork(3);
+    (void)busy.fork_at(9);
+    (void)busy.poisson(42.0);
+    Rng child_a = pristine.fork_at(7);
+    Rng child_b = busy.fork_at(7);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+}
+
+TEST(Rng, ForkAtIsConstAndRepeatable) {
+    const Rng parent(55);
+    Rng first = parent.fork_at(4);
+    Rng second = parent.fork_at(4);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(first.next_u64(), second.next_u64());
+}
+
+TEST(Rng, ForkAtChildrenAreIndependent) {
+    const Rng parent(202);
+    Rng child_a = parent.fork_at(0);
+    Rng child_b = parent.fork_at(1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (child_a.next_u64() == child_b.next_u64()) ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkAtDistinctFromParentAndFork) {
+    Rng parent(303);
+    Rng via_fork_at = parent.fork_at(0);
+    Rng via_fork = parent.fork(0);
+    Rng same_seed(303);
+    EXPECT_NE(via_fork_at.next_u64(), via_fork.next_u64());
+    Rng again = same_seed.fork_at(0);
+    EXPECT_NE(again.next_u64(), same_seed.next_u64());
+}
+
+TEST(Rng, ForkAtDiffersAcrossSeeds) {
+    const Rng a(1), b(2);
+    Rng child_a = a.fork_at(5);
+    Rng child_b = b.fork_at(5);
+    EXPECT_NE(child_a.next_u64(), child_b.next_u64());
+}
+
+// --- Poisson behaviour at the 2^31 normal-approximation cutover ---
+
+constexpr double k_poisson_cutover = static_cast<double>(1LL << 31);
+
+TEST(Rng, PoissonDeterministicOnBothSidesOfCutover) {
+    const double below = k_poisson_cutover * 0.5;
+    const double above = k_poisson_cutover * 2.0;
+    Rng a(404), b(404);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(a.poisson(below), b.poisson(below));
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(a.poisson(above), b.poisson(above));
+}
+
+TEST(Rng, PoissonMeanContinuousAcrossCutover) {
+    // The exact branch just below the cutover and the normal branch just
+    // at it target means one count apart; the sample means must agree
+    // within the joint sampling error (sigma ~ sqrt(mean) ~ 46341, so
+    // stderr with n=400 is ~2.3e3 per side; allow 5 joint sigma).
+    const double below = k_poisson_cutover - 1.0;
+    const double above = k_poisson_cutover;
+    const int n = 400;
+    Rng rng(505);
+    double sum_below = 0.0, sum_above = 0.0;
+    for (int i = 0; i < n; ++i) sum_below += static_cast<double>(rng.poisson(below));
+    for (int i = 0; i < n; ++i) sum_above += static_cast<double>(rng.poisson(above));
+    const double mean_below = sum_below / n;
+    const double mean_above = sum_above / n;
+    const double joint_sigma = std::sqrt(2.0 * k_poisson_cutover / n);
+    EXPECT_NEAR(mean_above - mean_below, 1.0, 5.0 * joint_sigma);
+    // And each side is individually where it should be.
+    EXPECT_NEAR(mean_below, below, 5.0 * std::sqrt(below / n));
+    EXPECT_NEAR(mean_above, above, 5.0 * std::sqrt(above / n));
+}
+
+TEST(Rng, PoissonDrawsStayNearMeanAtCutover) {
+    Rng rng(606);
+    for (const double mean : {k_poisson_cutover - 1.0, k_poisson_cutover}) {
+        for (int i = 0; i < 16; ++i) {
+            const double draw = static_cast<double>(rng.poisson(mean));
+            EXPECT_NEAR(draw, mean, 10.0 * std::sqrt(mean));
+        }
+    }
+}
+
+TEST(PoissonFromNormal, ClampsNegativeDrawsToZero) {
+    // A z of -10^5 sigma drags the draw far below zero for any huge
+    // mean; the mapping must clamp instead of wrapping through the
+    // signed->unsigned cast.
+    EXPECT_EQ(poisson_from_normal(4.0, -1e5), 0u);
+    EXPECT_EQ(poisson_from_normal(k_poisson_cutover, -1e9), 0u);
+    EXPECT_EQ(poisson_from_normal(0.0, -1.0), 0u);
+}
+
+TEST(PoissonFromNormal, RoundsToNearestCount) {
+    EXPECT_EQ(poisson_from_normal(100.0, 0.0), 100u);
+    // 100 + 10 * 0.04 = 100.4 -> 100; 100 + 10 * 0.06 = 100.6 -> 101.
+    EXPECT_EQ(poisson_from_normal(100.0, 0.04), 100u);
+    EXPECT_EQ(poisson_from_normal(100.0, 0.06), 101u);
+}
+
+TEST(PoissonFromNormal, MatchesEngineAboveCutover) {
+    // Above the cutover, poisson() must be exactly poisson_from_normal
+    // over the engine's next standard-normal draw.
+    const double mean = k_poisson_cutover * 4.0;
+    Rng a(707), b(707);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(a.poisson(mean), poisson_from_normal(mean, b.normal()));
 }
 
 } // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace seamap {
@@ -97,6 +99,114 @@ TEST(PercentChange, BasicAndThrows) {
     EXPECT_DOUBLE_EQ(percent_change(110.0, 100.0), 10.0);
     EXPECT_DOUBLE_EQ(percent_change(62.0, 100.0), -38.0);
     EXPECT_THROW(percent_change(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ExactMoments, EmptyIsAllZero) {
+    ExactMoments m;
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_EQ(m.sum(), 0u);
+    EXPECT_EQ(m.mean(), 0.0);
+    EXPECT_EQ(m.variance(), 0.0);
+    EXPECT_EQ(m.stdev(), 0.0);
+    EXPECT_EQ(m.stderr_mean(), 0.0);
+    EXPECT_EQ(m.ci95_halfwidth(), 0.0);
+}
+
+TEST(ExactMoments, SingleValue) {
+    ExactMoments m;
+    m.add(7);
+    EXPECT_EQ(m.count(), 1u);
+    EXPECT_EQ(m.sum(), 7u);
+    EXPECT_EQ(m.min(), 7u);
+    EXPECT_EQ(m.max(), 7u);
+    EXPECT_DOUBLE_EQ(m.mean(), 7.0);
+    EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(ExactMoments, KnownDataset) {
+    // {2,4,4,4,5,5,7,9}: mean 5, sample variance 32/7.
+    ExactMoments m;
+    for (const std::uint64_t x : {2u, 4u, 4u, 4u, 5u, 5u, 7u, 9u}) m.add(x);
+    EXPECT_EQ(m.count(), 8u);
+    EXPECT_EQ(m.sum(), 40u);
+    EXPECT_EQ(m.min(), 2u);
+    EXPECT_EQ(m.max(), 9u);
+    EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+    EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(m.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_NEAR(m.ci95_halfwidth(), 1.959964 * m.stderr_mean(), 1e-12);
+}
+
+TEST(ExactMoments, AgreesWithRunningStatsOnIntegerData) {
+    ExactMoments exact;
+    RunningStats welford;
+    std::uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < 500; ++i) {
+        x ^= x << 13, x ^= x >> 7, x ^= x << 17; // xorshift64
+        const std::uint64_t sample = x % 1000;
+        exact.add(sample);
+        welford.add(static_cast<double>(sample));
+    }
+    EXPECT_EQ(exact.count(), welford.count());
+    EXPECT_NEAR(exact.mean(), welford.mean(), 1e-9);
+    EXPECT_NEAR(exact.variance(), welford.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(static_cast<double>(exact.min()), welford.min());
+    EXPECT_DOUBLE_EQ(static_cast<double>(exact.max()), welford.max());
+}
+
+TEST(ExactMoments, MergeIsExactForAnyPartitionAndOrder) {
+    // The property the sharded campaign stands on: integer state makes
+    // add/merge associative AND commutative, so any shard partition in
+    // any merge order reproduces the sequential accumulator exactly —
+    // derived doubles included (they are pure functions of the state).
+    std::vector<std::uint64_t> samples;
+    std::uint64_t x = 1442695040888963407ull;
+    for (int i = 0; i < 333; ++i) {
+        x ^= x << 13, x ^= x >> 7, x ^= x << 17;
+        samples.push_back(x % 5000);
+    }
+    ExactMoments sequential;
+    for (const std::uint64_t s : samples) sequential.add(s);
+
+    for (const std::size_t block : {1u, 7u, 64u, 333u, 1000u}) {
+        std::vector<ExactMoments> shards;
+        for (std::size_t lo = 0; lo < samples.size(); lo += block) {
+            ExactMoments shard;
+            for (std::size_t i = lo; i < std::min(lo + block, samples.size()); ++i)
+                shard.add(samples[i]);
+            shards.push_back(shard);
+        }
+        // Forward merge order...
+        ExactMoments forward;
+        for (const ExactMoments& shard : shards) forward.merge(shard);
+        // ...and reverse merge order must both match exactly.
+        ExactMoments reverse;
+        for (auto it = shards.rbegin(); it != shards.rend(); ++it) reverse.merge(*it);
+        for (const ExactMoments* merged : {&forward, &reverse}) {
+            EXPECT_EQ(merged->count(), sequential.count()) << "block " << block;
+            EXPECT_EQ(merged->sum(), sequential.sum()) << "block " << block;
+            EXPECT_EQ(merged->min(), sequential.min()) << "block " << block;
+            EXPECT_EQ(merged->max(), sequential.max()) << "block " << block;
+            EXPECT_DOUBLE_EQ(merged->mean(), sequential.mean()) << "block " << block;
+            EXPECT_DOUBLE_EQ(merged->variance(), sequential.variance())
+                << "block " << block;
+            EXPECT_DOUBLE_EQ(merged->ci95_halfwidth(), sequential.ci95_halfwidth())
+                << "block " << block;
+        }
+    }
+}
+
+TEST(ExactMoments, MergeWithEmptySides) {
+    ExactMoments a, b;
+    a.add(1);
+    a.add(3);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.min(), 1u);
+    EXPECT_EQ(b.max(), 3u);
 }
 
 } // namespace

@@ -16,6 +16,7 @@
 #include "seamap/seamap.h"
 
 #include "sched/gantt.h"
+#include "sim/campaign.h"
 #include "sim/fault_injection.h"
 #include "taskgraph/dot.h"
 #include "taskgraph/fig8.h"
@@ -26,6 +27,7 @@
 #include "util/strings.h"
 #include "util/table.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -111,6 +113,15 @@ void print_usage(std::ostream& out) {
         "           [--strategy NAME] [--iterations I] [--trials T] [--seed S]\n"
         "           [--threads W] [--no-prune] [--multi-start K] [--json]\n"
         "           optimize, then run a Poisson SEU fault-injection campaign\n"
+        "  campaign <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
+        "           [--strategy NAME] [--iterations I] [--trials T] [--shard-size B]\n"
+        "           [--seed S] [--threads W] [--policy full|busy|task]\n"
+        "           [--weight-register X] [--weight-pipeline X] [--weight-memory X]\n"
+        "           [--pipeline-bits B] [--json]\n"
+        "           optimize, then run the sharded fault-injection campaign with\n"
+        "           differentiated fault sites (register file / pipeline / memory)\n"
+        "           and per-task/per-core/per-site attribution; results are\n"
+        "           byte-identical for every --threads and --shard-size\n"
         "  version | --version\n"
         "           print the library version\n"
         "  help | --help\n"
@@ -122,6 +133,13 @@ void print_usage(std::ostream& out) {
 int usage_error() {
     print_usage(std::cerr);
     return 2;
+}
+
+SimExposurePolicy parse_sim_policy(const std::string& text) {
+    if (text == "full") return SimExposurePolicy::full_duration;
+    if (text == "busy") return SimExposurePolicy::busy_only;
+    if (text == "task") return SimExposurePolicy::running_task;
+    throw std::invalid_argument("--policy must be full, busy or task");
 }
 
 VoltageScalingTable table_for(std::uint64_t levels) {
@@ -399,6 +417,102 @@ int cmd_inject(const ArgList& args) {
     return 0;
 }
 
+int cmd_campaign(const ArgList& args) {
+    const auto positional = args.positionals();
+    if (positional.empty()) {
+        std::cerr << "campaign: missing graph file\n";
+        return 2;
+    }
+    const Problem problem = problem_from(args, positional[0]);
+    const std::uint64_t seed = args.u64("--seed", 1);
+
+    ExploreOptions options;
+    options.strategy = args.value("--strategy").value_or("optimized");
+    options.dse.search.max_iterations = args.u64("--iterations", 4'000);
+    options.dse.search.seed = seed;
+    options.dse.num_threads = args.u64("--threads", 1);
+    options.dse.prune = !args.flag("--no-prune");
+    options.dse.multi_start = args.u64("--multi-start", 1);
+    const DseResult result = explore(problem, options);
+
+    if (!result.best) {
+        if (args.flag("--json"))
+            std::cout << campaign_report_json(problem, options.strategy, nullptr, nullptr)
+                             .dump(2)
+                      << '\n';
+        else
+            std::cerr << "no feasible design to run the campaign on\n";
+        return 1;
+    }
+    const DsePoint& best = *result.best;
+    const TaskGraph& graph = problem.graph();
+    const MpsocArchitecture& arch = problem.architecture();
+    const Schedule schedule =
+        ListScheduler{}.schedule(graph, best.mapping, arch, best.levels);
+
+    CampaignConfig config;
+    config.trials = args.u64("--trials", 20'000);
+    config.shard_size = args.u64("--shard-size", 1024);
+    config.num_threads = args.u64("--threads", 1);
+    config.seed = seed;
+    config.policy = parse_sim_policy(args.value("--policy").value_or("full"));
+    config.weights.register_file =
+        args.real("--weight-register", config.weights.register_file);
+    config.weights.pipeline = args.real("--weight-pipeline", config.weights.pipeline);
+    config.weights.memory = args.real("--weight-memory", config.weights.memory);
+    config.pipeline_bits = args.real("--pipeline-bits", config.pipeline_bits);
+    const CampaignEngine engine(problem.ser_model(), config);
+    const CampaignReport report =
+        engine.run(graph, best.mapping, arch, best.levels, schedule);
+
+    if (args.flag("--json")) {
+        std::cout << campaign_report_json(problem, options.strategy, &best, &report).dump(2)
+                  << '\n';
+        return 0;
+    }
+    std::cout << "design   : P " << fmt_double(best.metrics.power_mw, 2) << " mW, T_M "
+              << fmt_double(best.metrics.tm_seconds, 3) << " s\n";
+    std::cout << "campaign : " << report.trials << " trials in " << report.shards
+              << " shards of " << report.shard_size << " (seed " << report.seed << ")\n";
+    std::cout << "analytic : " << fmt_sci(report.analytic_gamma, 4)
+              << " weighted SEUs over all sites\n";
+    std::cout << "measured : " << fmt_sci(report.total_stats.mean(), 4) << " +/- "
+              << fmt_sci(report.total_stats.ci95_halfwidth(), 2) << " (95% CI)\n\n";
+
+    TableWriter sites({"site", "analytic", "mean", "stdev", "95% CI", "hits"});
+    for (std::size_t s = 0; s < k_fault_site_count; ++s) {
+        const FaultSite site = static_cast<FaultSite>(s);
+        const SiteReport& site_report = report.site(site);
+        sites.add_row({std::string(fault_site_name(site)),
+                       fmt_sci(site_report.analytic_gamma, 3),
+                       fmt_sci(site_report.stats.mean(), 3),
+                       fmt_sci(site_report.stats.stdev(), 2),
+                       fmt_sci(site_report.stats.ci95_halfwidth(), 2),
+                       fmt_grouped(site_report.stats.sum())});
+    }
+    sites.print_text(std::cout);
+
+    std::cout << "\nper-core hits:";
+    for (std::size_t c = 0; c < report.hits_per_core.size(); ++c)
+        std::cout << "  core" << c << "=" << report.hits_per_core[c];
+    std::cout << "\nmost vulnerable tasks (pipeline+memory hits):\n";
+    std::vector<TaskId> order(graph.task_count());
+    for (TaskId t = 0; t < order.size(); ++t) order[t] = t;
+    std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+        if (report.hits_per_task[a] != report.hits_per_task[b])
+            return report.hits_per_task[a] > report.hits_per_task[b];
+        return a < b;
+    });
+    TableWriter tasks({"task", "core", "hits"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, order.size()); ++i) {
+        const TaskId t = order[i];
+        tasks.add_row({graph.task(t).name, std::to_string(best.mapping.core_of(t)),
+                       fmt_grouped(report.hits_per_task[t])});
+    }
+    tasks.print_text(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -419,6 +533,7 @@ int main(int argc, char** argv) {
         if (command == "info") return cmd_info(args);
         if (command == "optimize") return cmd_optimize(args);
         if (command == "inject") return cmd_inject(args);
+        if (command == "campaign") return cmd_campaign(args);
         std::cerr << "unknown subcommand '" << command << "'\n";
         return usage_error();
     } catch (const std::exception& e) {
