@@ -1,13 +1,15 @@
 #include "api/explore.h"
 
 #include "api/strategy.h"
+#include "core/dse_checkpoint.h"
 
 #include <memory>
 
 namespace seamap {
 
 DseResult explore(const Problem& problem, const ExploreOptions& options,
-                  ProgressObserver* observer, const CancellationToken* cancel) {
+                  ProgressObserver* observer, const CancellationToken* cancel,
+                  DseCheckpointer* checkpoint) {
     const DesignSpaceExplorer explorer(problem.ser_model(), problem.exposure_policy());
     // One construction path for every name: the registry factory
     // receives options.dse.search as the canonical StrategyOptions.
@@ -15,7 +17,13 @@ DseResult explore(const Problem& problem, const ExploreOptions& options,
         make_search_strategy(options.strategy, options.dse.search);
     return explorer.explore(problem.graph(), problem.architecture(),
                             problem.deadline_seconds(), options.dse, *strategy, observer,
-                            cancel);
+                            cancel, checkpoint);
+}
+
+std::uint64_t explore_state_hash(const Problem& problem, const ExploreOptions& options) {
+    return dse_state_hash(problem.graph(), problem.architecture(),
+                          problem.deadline_seconds(), options.dse, problem.ser_model(),
+                          problem.exposure_policy(), options.strategy);
 }
 
 } // namespace seamap

@@ -15,6 +15,7 @@
 #include "api/observer.h"
 #include "api/problem.h"
 #include "core/dse.h"
+#include "core/dse_checkpoint.h"
 #include "util/cancellation.h"
 
 #include <string>
@@ -31,9 +32,18 @@ struct ExploreOptions {
 };
 
 /// Run the full exploration. Throws std::invalid_argument for an
-/// unknown strategy name.
+/// unknown strategy name. `checkpoint`, when non-null, makes the run
+/// crash-safe: newly decided scalings are snapshotted on the
+/// checkpointer's cadence, and a previously loaded prefix (see
+/// core/dse_checkpoint.h) is resumed — final results are byte-identical
+/// to the uninterrupted run at any thread count.
 DseResult explore(const Problem& problem, const ExploreOptions& options = {},
                   ProgressObserver* observer = nullptr,
-                  const CancellationToken* cancel = nullptr);
+                  const CancellationToken* cancel = nullptr,
+                  DseCheckpointer* checkpoint = nullptr);
+
+/// The exploration's checkpoint identity hash for a (problem, options)
+/// pair — what a DseCheckpointer for this run must be keyed with.
+std::uint64_t explore_state_hash(const Problem& problem, const ExploreOptions& options);
 
 } // namespace seamap

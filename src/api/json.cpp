@@ -99,6 +99,10 @@ JsonValue to_json(const CampaignReport& report) {
     JsonValue out = JsonValue::object();
     out["trials"] = report.trials;
     out["shards"] = report.shards;
+    // Emitted only for partial (cancelled) reports, so full-run
+    // documents keep their historic schema byte-for-byte.
+    if (report.shards_completed != report.shards)
+        out["shards_completed"] = report.shards_completed;
     out["shard_size"] = report.shard_size;
     out["seed"] = report.seed;
     out["analytic_gamma"] = report.analytic_gamma;
@@ -125,6 +129,14 @@ JsonValue to_json(const CampaignReport& report) {
     JsonValue per_task = JsonValue::array();
     for (const std::uint64_t hits : report.hits_per_task) per_task.push_back(hits);
     out["hits_per_task"] = std::move(per_task);
+    return out;
+}
+
+JsonValue to_json(const Error& error) {
+    JsonValue out = JsonValue::object();
+    out["code"] = error.code();
+    out["message"] = error.message();
+    if (!error.context().empty()) out["context"] = error.context();
     return out;
 }
 

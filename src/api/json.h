@@ -47,6 +47,7 @@
 #include "core/dse.h"
 #include "reliability/design_eval.h"
 #include "sim/campaign.h"
+#include "util/error.h"
 #include "util/json.h"
 #include "util/stats.h"
 
@@ -60,6 +61,11 @@ JsonValue to_json(const DseResult& result);
 JsonValue to_json(const Problem& problem);
 JsonValue to_json(const ExactMoments& stats);
 JsonValue to_json(const CampaignReport& report);
+
+/// Structured error object: {"code", "message"} plus "context" when one
+/// was attached — the machine-readable failure surface `seamap_cli
+/// ... --json` wraps as {"error": ...}.
+JsonValue to_json(const Error& error);
 
 /// The complete `optimize --json` document (see schema above).
 JsonValue optimize_report_json(const Problem& problem, std::string_view strategy_name,

@@ -1,9 +1,11 @@
 #include "core/dse.h"
 
+#include "core/dse_checkpoint.h"
 #include "core/initial_mapping.h"
 #include "core/observer.h"
 #include "core/scaling_bounds.h"
 #include "core/search_strategy.h"
+#include "util/error.h"
 #include "util/float_compare.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -161,7 +163,8 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                                        double deadline_seconds, const DseParams& params,
                                        const SearchStrategy& strategy,
                                        ProgressObserver* observer,
-                                       const CancellationToken* cancel) const {
+                                       const CancellationToken* cancel,
+                                       DseCheckpointer* checkpoint) const {
     graph.validate();
     // One token funnels every stop source to the workers: the caller's
     // cancellation (chained as parent) and the explorer's own total
@@ -303,9 +306,85 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     std::vector<unsigned char> slot_completed(slots.size(), 0);
     std::size_t decided = 0;
 
+    // --- resume: preload the checkpointed decided prefix --------------
+    // Each record is the *replay* outcome of one best-first slot, and
+    // replay decisions depend only on earlier slots — so restoring the
+    // prefix as already-completed slots (with synthetic start results
+    // that fold back to the stored designs) reproduces the
+    // uninterrupted run byte-for-byte. The recording state below
+    // (recorded / record_front) re-runs the same replay incrementally
+    // over newly decided slots so snapshots always stay replay-faithful.
+    std::size_t recorded = 0;
+    DominanceFront record_front;
+    const DseResumeState* resume =
+        checkpoint != nullptr ? checkpoint->resume_state() : nullptr;
+    if (resume != nullptr && !stop.stop_requested()) {
+        const std::vector<DseSlotRecord>& records = resume->records;
+        if (records.size() > slots.size())
+            throw Error(ErrorCategory::checkpoint_mismatch,
+                        "checkpoint holds " + std::to_string(records.size()) +
+                            " decided slots but this exploration planned only " +
+                            std::to_string(slots.size()),
+                        checkpoint->path());
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const DseSlotRecord& record = records[i];
+            SearchSlot& slot = slots[i];
+            if (record.combo != slot.combo)
+                throw Error(ErrorCategory::checkpoint_mismatch,
+                            "checkpoint slot order diverges at decided slot " +
+                                std::to_string(i) + " (stored combination " +
+                                std::to_string(record.combo) + ", planned " +
+                                std::to_string(slot.combo) + ")",
+                            checkpoint->path());
+            slot.start_ran.assign(starts, 1);
+            slot.starts_done = starts;
+            slot_completed[i] = 1;
+            switch (record.kind) {
+            case DseSlotRecord::Kind::pruned:
+                slot.runtime_pruned = true;
+                break;
+            case DseSlotRecord::Kind::no_design:
+                // All-default start results already fold to "searched,
+                // nothing feasible".
+                break;
+            case DseSlotRecord::Kind::feasible: {
+                // Start 0 carries the stored folded design; the other
+                // starts stay at found_feasible = false, so both folds
+                // (fold_starts / fold_min_power) return the stored pick.
+                LocalSearchResult& r0 = slot.start_results[0];
+                r0.found_feasible = true;
+                r0.best_mapping = record.point.mapping;
+                r0.best_metrics = record.point.metrics;
+                if (record.has_min_power) {
+                    r0.min_power_found = true;
+                    r0.min_power_mapping = record.min_power_point.mapping;
+                    r0.min_power_metrics = record.min_power_point.metrics;
+                }
+                record_front.insert(record.point.metrics.power_mw,
+                                    record.point.metrics.gamma);
+                break;
+            }
+            }
+        }
+        recorded = records.size();
+        // Advance the decided prefix over the restored slots, seeding
+        // the incumbent front exactly as live completion would have.
+        while (decided < slots.size() && slot_completed[decided]) {
+            const SearchSlot& done = slots[decided];
+            if (!done.runtime_pruned) {
+                const LocalSearchResult& folded = fold_starts(done.start_results);
+                if (folded.found_feasible)
+                    incumbent_front.insert(folded.best_metrics.power_mw,
+                                           folded.best_metrics.gamma);
+            }
+            ++decided;
+        }
+    }
+
     auto run_start = [&](std::size_t pos, std::size_t start_index) {
         SearchSlot& slot = slots[pos];
         const std::size_t index = slot.combo;
+        bool searched = false;
         if (!stop.stop_requested()) {
             bool do_search = true;
             if (params.prune) {
@@ -340,9 +419,14 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                     seed = splitmix64(seed + 0x9e3779b97f4a7c15ULL * start_index);
                 slot.start_results[start_index] =
                     strategy.search(eval, initial, seed, &stop);
+                searched = true;
             }
+            // A stop landing while the search ran may have cut it short,
+            // leaving a partial (non-replay-faithful) result: discard it
+            // — the slot stays not_run and a resume re-searches it in
+            // full. Prune skips carry no search data and stay valid.
             std::lock_guard lock(bb_mutex);
-            slot.start_ran[start_index] = 1;
+            if (!searched || !stop.stop_requested()) slot.start_ran[start_index] = 1;
         }
 
         // Completion bookkeeping: the last start of a slot decides its
@@ -387,20 +471,67 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                 }
                 ++decided;
             }
+            // Checkpoint recording: extend the replay over newly decided
+            // fully-ran slots. A stop-skipped slot ends the recordable
+            // prefix (nothing after it is replay-stable); a worker-pruned
+            // slot the replay keeps is the same unsound-bounds condition
+            // the merge's tripwire throws on — stop recording and let it.
+            while (checkpoint != nullptr && recorded < slots.size() &&
+                   slot_completed[recorded]) {
+                SearchSlot& done = slots[recorded];
+                const bool done_ran =
+                    std::all_of(done.start_ran.begin(), done.start_ran.end(),
+                                [](unsigned char ran) { return ran == 1; });
+                if (!done_ran) break;
+                DseSlotRecord record;
+                record.combo = done.combo;
+                if (params.prune && front_prunes(record_front, done)) {
+                    record.kind = DseSlotRecord::Kind::pruned;
+                } else {
+                    if (done.runtime_pruned) break;
+                    const LocalSearchResult& folded = fold_starts(done.start_results);
+                    if (folded.found_feasible) {
+                        record.kind = DseSlotRecord::Kind::feasible;
+                        record.point.levels = combinations[done.combo];
+                        record.point.mapping = folded.best_mapping;
+                        record.point.metrics = folded.best_metrics;
+                        if (const LocalSearchResult* cheapest =
+                                fold_min_power(done.start_results)) {
+                            record.min_power_point.levels = combinations[done.combo];
+                            record.min_power_point.mapping = cheapest->min_power_mapping;
+                            record.min_power_point.metrics = cheapest->min_power_metrics;
+                            record.has_min_power = true;
+                        }
+                        record_front.insert(folded.best_metrics.power_mw,
+                                            folded.best_metrics.gamma);
+                    } else {
+                        record.kind = DseSlotRecord::Kind::no_design;
+                    }
+                }
+                checkpoint->record(record);
+                ++recorded;
+            }
         }
         if (completed_now) notify(index, live_outcome, live_point);
+        if (checkpoint != nullptr) checkpoint->maybe_flush();
     };
 
-    if (!slots.empty()) {
+    // Restored slots are complete already: only the remainder runs.
+    const std::size_t first_live = recorded;
+    if (first_live < slots.size()) {
         ThreadPool pool(std::min(ThreadPool::resolve_thread_count(params.num_threads),
-                                 slots.size() * starts));
+                                 (slots.size() - first_live) * starts));
         // Searches run best-first by power bound (enumeration order
         // when pruning is off): lower priority value wins the queue.
-        for (std::size_t pos = 0; pos < slots.size(); ++pos)
+        for (std::size_t pos = first_live; pos < slots.size(); ++pos)
             for (std::size_t r = 0; r < starts; ++r)
                 pool.submit(pos, [&, pos, r] { run_start(pos, r); });
         pool.wait_idle();
     }
+    // Persist whatever the run decided — on a stop this is the snapshot
+    // a resume continues from; on completion it doubles as a memoized
+    // result (a resume replays it without searching).
+    if (checkpoint != nullptr) checkpoint->flush();
 
     // --- merge: deterministic branch-and-bound replay -----------------
     // Replays the prune decisions sequentially in best-first order from

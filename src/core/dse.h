@@ -51,6 +51,7 @@ namespace seamap {
 
 class SearchStrategy;   // core/search_strategy.h
 class ProgressObserver; // core/observer.h
+class DseCheckpointer;  // core/dse_checkpoint.h
 
 /// One evaluated design point.
 struct DsePoint {
@@ -162,12 +163,18 @@ public:
     /// streams per-scaling progress and incumbent (P, Gamma) designs
     /// (serialized, possibly from worker threads); `cancel`, when
     /// non-null, stops the exploration cooperatively — already-finished
-    /// scalings are folded into the (partial) result.
+    /// scalings are folded into the (partial) result. `checkpoint`,
+    /// when non-null, supplies an already-decided slot prefix (load it
+    /// beforehand — core/dse_checkpoint.h), receives every newly
+    /// decided slot and flushes snapshots on its cadence; resuming a
+    /// killed exploration reproduces the uninterrupted result
+    /// byte-for-byte at any thread count.
     DseResult explore(const TaskGraph& graph, const MpsocArchitecture& arch,
                       double deadline_seconds, const DseParams& params,
                       const SearchStrategy& strategy,
                       ProgressObserver* observer = nullptr,
-                      const CancellationToken* cancel = nullptr) const;
+                      const CancellationToken* cancel = nullptr,
+                      DseCheckpointer* checkpoint = nullptr) const;
 
 private:
     SerModel ser_;

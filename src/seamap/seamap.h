@@ -7,6 +7,9 @@
 //   ProgressObserver           (api/observer.h)  watch it run
 //   CancellationToken          (util/cancellation.h) stop it early
 //   to_json / JsonValue        (api/json.h)      machine-readable results
+//   seamap::Error              (util/error.h)    structured failures
+//   DseCheckpointer            (core/dse_checkpoint.h, via api/explore.h)
+//                                                crash-safe resume
 //
 // Workload builders (taskgraph/, tgff/) and the fault injector (sim/)
 // keep their own headers; the core types they produce/consume
@@ -21,3 +24,4 @@
 #include "api/problem.h" // arch-check: export
 #include "api/strategy.h" // arch-check: export
 #include "util/cancellation.h" // arch-check: export
+#include "util/error.h" // arch-check: export

@@ -1,5 +1,7 @@
 #include "sim/campaign.h"
 
+#include "sim/campaign_checkpoint.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -124,6 +126,14 @@ CampaignReport CampaignEngine::run(const TaskGraph& graph, const Mapping& mappin
                                    const MpsocArchitecture& arch,
                                    const ScalingVector& levels,
                                    const Schedule& schedule) const {
+    return run(graph, mapping, arch, levels, schedule, nullptr, nullptr);
+}
+
+CampaignReport CampaignEngine::run(const TaskGraph& graph, const Mapping& mapping,
+                                   const MpsocArchitecture& arch,
+                                   const ScalingVector& levels, const Schedule& schedule,
+                                   const CancellationToken* cancel,
+                                   CampaignCheckpointer* checkpoint) const {
     const std::vector<FaultSource> sources =
         build_sources(graph, mapping, arch, levels, schedule);
     const std::uint64_t trials = config_.trials;
@@ -132,15 +142,24 @@ CampaignReport CampaignEngine::run(const TaskGraph& graph, const Mapping& mappin
     const std::size_t cores = arch.core_count();
     const std::size_t tasks = graph.task_count();
 
+    // Shards restored from a checkpoint are skipped outright; workers
+    // consult an immutable snapshot of the bitmap taken before dispatch.
+    if (checkpoint != nullptr) checkpoint->initialize(shard_count, cores, tasks);
+    const std::vector<std::uint8_t> already_done =
+        checkpoint != nullptr ? checkpoint->done_snapshot() : std::vector<std::uint8_t>();
+
     // Pre-assigned result slots: worker s writes only shards[s]; the
     // deterministic merge below folds them in shard-index order (and
     // since every accumulator is exact, any fold order would produce
-    // the same bytes anyway).
+    // the same bytes anyway — which is also why restored shards can be
+    // merged as one opaque partial).
     std::vector<ShardAccum> shards(shard_count);
+    std::vector<std::uint8_t> live_completed(shard_count, 0);
     const std::uint64_t seed = config_.seed;
     parallel_for_index(
         static_cast<std::size_t>(shard_count), config_.num_threads,
         [&](std::size_t shard) {
+            if (!already_done.empty() && already_done[shard] != 0) return;
             ShardAccum& acc = shards[shard];
             acc.hits_per_core.assign(cores, 0);
             acc.hits_per_task.assign(tasks, 0);
@@ -149,6 +168,9 @@ CampaignReport CampaignEngine::run(const TaskGraph& graph, const Mapping& mappin
             const std::uint64_t hi = std::min(trials, lo + shard_size);
             std::array<std::uint64_t, k_fault_site_count> trial_site{};
             for (std::uint64_t trial = lo; trial < hi; ++trial) {
+                // A stop request abandons the shard un-recorded: a
+                // partially-run shard must never enter the partial.
+                if (cancel != nullptr && cancel->stop_requested()) return;
                 // The stream is a pure function of (seed, trial): any
                 // shard schedule replays identical draws per trial.
                 Rng stream = root.fork_at(trial);
@@ -166,6 +188,12 @@ CampaignReport CampaignEngine::run(const TaskGraph& graph, const Mapping& mappin
                     acc.per_site[s].add(trial_site[s]);
                 acc.total.add(trial_total);
             }
+            live_completed[shard] = 1;
+            if (checkpoint != nullptr) {
+                checkpoint->record_shard(shard, acc.total, acc.per_site,
+                                         acc.hits_per_core, acc.hits_per_task);
+                checkpoint->maybe_flush();
+            }
         });
 
     CampaignReport report;
@@ -173,21 +201,32 @@ CampaignReport CampaignEngine::run(const TaskGraph& graph, const Mapping& mappin
     report.shard_size = shard_size;
     report.shards = shard_count;
     report.seed = seed;
-    report.hits_per_core.assign(cores, 0);
-    report.hits_per_task.assign(tasks, 0);
     for (const FaultSource& source : sources) {
         report.analytic_gamma += source.mean_seus;
         report.sites[static_cast<std::size_t>(source.site)].analytic_gamma +=
             source.mean_seus;
     }
-    for (const ShardAccum& acc : shards) {
+    if (checkpoint != nullptr) {
+        // The checkpointer already holds restored + live shards as one
+        // exact merged partial.
+        checkpoint->export_to(report);
+        report.shards_completed = checkpoint->completed();
+        checkpoint->flush();
+        return report;
+    }
+    report.hits_per_core.assign(cores, 0);
+    report.hits_per_task.assign(tasks, 0);
+    for (std::uint64_t s = 0; s < shard_count; ++s) {
+        if (live_completed[s] == 0) continue; // cancellation cut it short
+        const ShardAccum& acc = shards[s];
         report.total_stats.merge(acc.total);
-        for (std::size_t s = 0; s < k_fault_site_count; ++s)
-            report.sites[s].stats.merge(acc.per_site[s]);
+        for (std::size_t site = 0; site < k_fault_site_count; ++site)
+            report.sites[site].stats.merge(acc.per_site[site]);
         for (std::size_t c = 0; c < cores; ++c)
             report.hits_per_core[c] += acc.hits_per_core[c];
         for (std::size_t t = 0; t < tasks; ++t)
             report.hits_per_task[t] += acc.hits_per_task[t];
+        ++report.shards_completed;
     }
     return report;
 }

@@ -46,6 +46,9 @@
 
 namespace seamap {
 
+class CancellationToken;    // util/cancellation.h
+class CampaignCheckpointer; // sim/campaign_checkpoint.h
+
 /// Differentiated fault-site components.
 enum class FaultSite : std::uint8_t {
     register_file = 0,
@@ -114,6 +117,10 @@ struct CampaignReport {
     std::uint64_t trials = 0;
     std::uint64_t shard_size = 0;
     std::uint64_t shards = 0;
+    /// Shards actually merged into the statistics. Equals `shards` on a
+    /// full run; smaller when cancellation stopped the campaign early
+    /// (the partial lives in the checkpoint, not in a usable report).
+    std::uint64_t shards_completed = 0;
     std::uint64_t seed = 0;
     /// Weighted expectation summed over every site.
     double analytic_gamma = 0.0;
@@ -155,6 +162,19 @@ public:
     CampaignReport run(const TaskGraph& graph, const Mapping& mapping,
                        const MpsocArchitecture& arch, const ScalingVector& levels,
                        const Schedule& schedule) const;
+
+    /// Resumable variant. `cancel`, when non-null, stops the campaign
+    /// between shards (completed shards keep counting); `checkpoint`,
+    /// when non-null, supplies already-completed shards (load it
+    /// beforehand), receives every shard finished here and flushes on
+    /// its cadence — because all merges are exact integer moments, the
+    /// final report is byte-identical to the uninterrupted run whatever
+    /// subset of shards was restored. With both null this is exactly
+    /// run().
+    CampaignReport run(const TaskGraph& graph, const Mapping& mapping,
+                       const MpsocArchitecture& arch, const ScalingVector& levels,
+                       const Schedule& schedule, const CancellationToken* cancel,
+                       CampaignCheckpointer* checkpoint) const;
 
 private:
     SerModel ser_;

@@ -1,5 +1,6 @@
 #include "taskgraph/serialization.h"
 
+#include "util/error.h"
 #include "util/strings.h"
 
 #include <fstream>
@@ -31,6 +32,17 @@ void write_task_graph(std::ostream& os, const TaskGraph& graph) {
 
 namespace {
 
+// Hard ceiling on every declared count ("registers N", "tasks N",
+// "edges N", per-task register-list length). Far above any real
+// workload, low enough that a hostile header can never drive looping
+// or allocation before the mismatch is discovered.
+constexpr std::uint64_t k_max_declared_count = 1'000'000;
+
+// Ceiling on per-item magnitudes (register bits, exec/comm cycles).
+// With at most k_max_declared_count items, whole-graph sums like
+// total_exec_cycles() stay below 10^18 and cannot wrap a u64.
+constexpr std::uint64_t k_max_magnitude = 1'000'000'000'000;
+
 class LineReader {
 public:
     explicit LineReader(std::istream& is) : is_(is) {}
@@ -52,8 +64,35 @@ public:
     }
 
     [[noreturn]] void fail(const std::string& message) const {
-        throw std::invalid_argument("task graph parse error at line " +
-                                    std::to_string(line_number_) + ": " + message);
+        throw Error(ErrorCategory::parse, "task graph parse error at line " +
+                                              std::to_string(line_number_) + ": " + message);
+    }
+
+    /// parse_u64 with the line number attached on failure.
+    std::uint64_t number(const std::string& field, const char* what) const {
+        try {
+            return parse_u64(field);
+        } catch (const std::exception&) {
+            fail(std::string(what) + " is not an unsigned integer: '" + field + "'");
+        }
+    }
+
+    /// A declared count, rejected above k_max_declared_count.
+    std::uint64_t count(const std::string& field, const char* what) const {
+        const std::uint64_t value = number(field, what);
+        if (value > k_max_declared_count)
+            fail(std::string(what) + " " + std::to_string(value) + " exceeds the limit of " +
+                 std::to_string(k_max_declared_count));
+        return value;
+    }
+
+    /// A per-item magnitude, rejected above k_max_magnitude.
+    std::uint64_t magnitude(const std::string& field, const char* what) const {
+        const std::uint64_t value = number(field, what);
+        if (value > k_max_magnitude)
+            fail(std::string(what) + " " + std::to_string(value) + " exceeds the limit of " +
+                 std::to_string(k_max_magnitude));
+        return value;
     }
 
     std::vector<std::string> expect(const std::string& keyword, std::size_t field_count) {
@@ -78,53 +117,92 @@ TaskGraph read_task_graph(std::istream& is) {
 
     const auto graph_line = reader.expect("graph", 2);
     const auto batches_line = reader.expect("batches", 2);
+    const std::uint64_t batches = reader.count(batches_line[1], "batch count");
 
     RegisterFile regs;
     const auto registers_line = reader.expect("registers", 2);
-    const auto reg_count = parse_u64(registers_line[1]);
+    const auto reg_count = reader.count(registers_line[1], "register count");
     for (std::uint64_t i = 0; i < reg_count; ++i) {
         const auto fields = reader.expect("reg", 3);
-        regs.add_register(fields[1], parse_u64(fields[2]));
+        const std::uint64_t bits = reader.magnitude(fields[2], "register width");
+        try {
+            regs.add_register(fields[1], bits);
+        } catch (const std::exception& e) {
+            reader.fail(e.what());
+        }
     }
 
     TaskGraph graph(graph_line[1], std::move(regs));
-    graph.set_batch_count(parse_u64(batches_line[1]));
+    try {
+        graph.set_batch_count(batches);
+    } catch (const std::exception& e) {
+        reader.fail(e.what());
+    }
 
     const auto tasks_line = reader.expect("tasks", 2);
-    const auto task_count = parse_u64(tasks_line[1]);
+    const auto task_count = reader.count(tasks_line[1], "task count");
     for (std::uint64_t i = 0; i < task_count; ++i) {
         auto fields = reader.next();
         if (!fields) reader.fail("unexpected end of input in task list");
         if ((*fields)[0] != "task" || fields->size() < 4) reader.fail("malformed task line");
-        const auto reg_list_count = parse_u64((*fields)[3]);
-        if (fields->size() != 4 + reg_list_count) reader.fail("task register list length mismatch");
+        const auto reg_list_count = reader.count((*fields)[3], "task register count");
+        // reg_list_count <= k_max_declared_count, so 4 + reg_list_count
+        // cannot wrap.
+        if (fields->size() != 4 + reg_list_count)
+            reader.fail("task register list length mismatch");
         std::vector<RegisterId> ids;
-        for (std::uint64_t r = 0; r < reg_list_count; ++r)
-            ids.push_back(static_cast<RegisterId>(parse_u64((*fields)[4 + r])));
-        graph.add_task((*fields)[1], parse_u64((*fields)[2]), ids);
+        ids.reserve(reg_list_count);
+        for (std::uint64_t r = 0; r < reg_list_count; ++r) {
+            const std::uint64_t rid = reader.number((*fields)[4 + r], "register id");
+            if (rid >= graph.register_file().size())
+                reader.fail("register id " + std::to_string(rid) + " out of range (file has " +
+                            std::to_string(graph.register_file().size()) + " registers)");
+            ids.push_back(static_cast<RegisterId>(rid));
+        }
+        const std::uint64_t exec = reader.magnitude((*fields)[2], "task exec cycles");
+        try {
+            graph.add_task((*fields)[1], exec, ids);
+        } catch (const std::exception& e) {
+            reader.fail(e.what());
+        }
     }
 
     const auto edges_line = reader.expect("edges", 2);
-    const auto edge_count = parse_u64(edges_line[1]);
+    const auto edge_count = reader.count(edges_line[1], "edge count");
     for (std::uint64_t i = 0; i < edge_count; ++i) {
         const auto fields = reader.expect("edge", 4);
-        graph.add_edge(static_cast<TaskId>(parse_u64(fields[1])),
-                       static_cast<TaskId>(parse_u64(fields[2])), parse_u64(fields[3]));
+        const std::uint64_t src = reader.number(fields[1], "edge source");
+        const std::uint64_t dst = reader.number(fields[2], "edge destination");
+        if (src >= graph.task_count() || dst >= graph.task_count())
+            reader.fail("edge endpoint out of range (graph has " +
+                        std::to_string(graph.task_count()) + " tasks)");
+        const std::uint64_t comm = reader.magnitude(fields[3], "edge comm cycles");
+        try {
+            graph.add_edge(static_cast<TaskId>(src), static_cast<TaskId>(dst), comm);
+        } catch (const std::exception& e) {
+            reader.fail(e.what()); // duplicate edges, self-loops
+        }
     }
 
-    graph.validate();
+    try {
+        graph.validate();
+    } catch (const std::exception& e) {
+        throw Error(ErrorCategory::parse, std::string("task graph parse error: ") + e.what());
+    }
     return graph;
 }
 
 void save_task_graph(const std::string& path, const TaskGraph& graph) {
     std::ofstream os(path);
-    if (!os) throw std::runtime_error("cannot open for writing: " + path);
+    if (!os) throw Error(ErrorCategory::io, "cannot open task graph for writing", path);
     write_task_graph(os, graph);
+    os.flush();
+    if (!os) throw Error(ErrorCategory::io, "failed writing task graph", path);
 }
 
 TaskGraph load_task_graph(const std::string& path) {
     std::ifstream is(path);
-    if (!is) throw std::runtime_error("cannot open for reading: " + path);
+    if (!is) throw Error(ErrorCategory::io, "cannot open task graph for reading", path);
     return read_task_graph(is);
 }
 

@@ -22,11 +22,15 @@ namespace seamap {
 /// Write `graph` to `os` in the text format above.
 void write_task_graph(std::ostream& os, const TaskGraph& graph);
 
-/// Parse a graph from `is`; throws std::invalid_argument with a line
-/// number on malformed input.
+/// Parse a graph from `is`; throws seamap::Error (ErrorCategory::parse)
+/// with a line number on malformed input. Hostile inputs — truncated
+/// files, giant declared counts, non-numeric fields, out-of-range
+/// register/task ids, duplicate edges — are all rejected with the same
+/// structured error, never undefined behavior or a bad_alloc.
 TaskGraph read_task_graph(std::istream& is);
 
-/// Convenience round-trips through files.
+/// Convenience round-trips through files; open/write failures throw
+/// seamap::Error (ErrorCategory::io) with the path as context.
 void save_task_graph(const std::string& path, const TaskGraph& graph);
 TaskGraph load_task_graph(const std::string& path);
 

@@ -63,6 +63,34 @@ private:
     const CancellationToken* parent_ = nullptr;
 };
 
+/// Wall-clock rate limiter for periodic side effects (checkpoint
+/// flushes, progress lines): due() is true when at least `seconds`
+/// elapsed since construction or the last reset(). Lives here because
+/// this is the one sanctioned wall-clock site outside benches — the
+/// determinism linter forbids clock reads elsewhere, and checkpoint
+/// cadence must never leak into search results.
+class IntervalTimer {
+public:
+    using Clock = CancellationToken::Clock;
+
+    /// `seconds` <= 0 disables the timer: due() is always false.
+    explicit IntervalTimer(double seconds)
+        : seconds_(seconds), last_(Clock::now()) {}
+
+    bool due() const {
+        if (seconds_ <= 0.0) return false;
+        const std::chrono::duration<double> elapsed = Clock::now() - last_;
+        return elapsed.count() >= seconds_;
+    }
+
+    /// Restart the interval (call after performing the side effect).
+    void reset() { last_ = Clock::now(); }
+
+private:
+    double seconds_;
+    Clock::time_point last_;
+};
+
 /// The stop condition shared by the iterative search engines: an
 /// iteration cap (0 = uncapped), a wall-clock budget measured from
 /// construction (<= 0 = none), and an optional cancellation token.

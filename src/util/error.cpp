@@ -1,0 +1,37 @@
+#include "util/error.h"
+
+namespace seamap {
+
+namespace {
+
+std::string what_text(const std::string& message, const std::string& context) {
+    if (context.empty()) return message;
+    return message + " (" + context + ")";
+}
+
+} // namespace
+
+std::string_view error_code(ErrorCategory category) {
+    switch (category) {
+    case ErrorCategory::usage: return "usage";
+    case ErrorCategory::invalid_argument: return "invalid_argument";
+    case ErrorCategory::parse: return "parse_error";
+    case ErrorCategory::io: return "io_error";
+    case ErrorCategory::checkpoint_corrupt: return "checkpoint_corrupt";
+    case ErrorCategory::checkpoint_mismatch: return "checkpoint_mismatch";
+    case ErrorCategory::canceled: return "canceled";
+    case ErrorCategory::internal: return "internal";
+    }
+    return "internal";
+}
+
+Error::Error(ErrorCategory category, std::string message)
+    : Error(category, std::move(message), std::string()) {}
+
+Error::Error(ErrorCategory category, std::string message, std::string context)
+    : std::runtime_error(what_text(message, context)),
+      category_(category),
+      message_(std::move(message)),
+      context_(std::move(context)) {}
+
+} // namespace seamap

@@ -112,6 +112,36 @@ double ExactMoments::stderr_mean() const {
 
 double ExactMoments::ci95_halfwidth() const { return 1.959964 * stderr_mean(); }
 
+namespace {
+
+unsigned __int128 u128_of_halves(std::uint64_t hi, std::uint64_t lo) {
+    return (static_cast<unsigned __int128>(hi) << 64) | lo;
+}
+
+} // namespace
+
+ExactMomentsState ExactMoments::state() const {
+    ExactMomentsState s;
+    s.count = count_;
+    s.min = min_;
+    s.max = max_;
+    s.sum_hi = static_cast<std::uint64_t>(sum_ >> 64);
+    s.sum_lo = static_cast<std::uint64_t>(sum_);
+    s.sum_sq_hi = static_cast<std::uint64_t>(sum_sq_ >> 64);
+    s.sum_sq_lo = static_cast<std::uint64_t>(sum_sq_);
+    return s;
+}
+
+ExactMoments ExactMoments::from_state(const ExactMomentsState& s) {
+    ExactMoments m;
+    m.count_ = s.count;
+    m.min_ = s.min;
+    m.max_ = s.max;
+    m.sum_ = u128_of_halves(s.sum_hi, s.sum_lo);
+    m.sum_sq_ = u128_of_halves(s.sum_sq_hi, s.sum_sq_lo);
+    return m;
+}
+
 double mean_of(std::span<const double> xs) {
     RunningStats s;
     for (double x : xs) s.add(x);

@@ -39,6 +39,20 @@ private:
     double max_ = 0.0;
 };
 
+/// Serialized state of an ExactMoments accumulator: the 128-bit sums
+/// split into hi/lo 64-bit halves so checkpoints can round-trip them
+/// exactly. Produced by ExactMoments::state(), consumed by
+/// ExactMoments::from_state().
+struct ExactMomentsState {
+    std::uint64_t count = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t sum_hi = 0;
+    std::uint64_t sum_lo = 0;
+    std::uint64_t sum_sq_hi = 0;
+    std::uint64_t sum_sq_lo = 0;
+};
+
 /// Moment accumulator for unsigned-integer samples (per-trial SEU
 /// counts) whose *state* is exact: count, sum and sum of squares are
 /// 128-bit integers, so add() and merge() are associative and
@@ -71,6 +85,11 @@ public:
     /// Half-width of the 95% normal-approximation confidence interval
     /// on the mean (same constant as RunningStats::ci95_halfwidth).
     double ci95_halfwidth() const;
+
+    /// Exact snapshot of the accumulator for checkpoint payloads.
+    ExactMomentsState state() const;
+    /// Rebuild an accumulator from a snapshot (exact inverse of state()).
+    static ExactMoments from_state(const ExactMomentsState& s);
 
 private:
     std::uint64_t count_ = 0;

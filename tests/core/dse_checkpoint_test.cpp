@@ -1,0 +1,284 @@
+// The headline crash-safety invariant: kill an exploration at any
+// point, resume it from the checkpoint — at ANY thread count — and the
+// final report is byte-identical to the uninterrupted run. Exercised
+// over three workloads (fig8, MPEG-2, a TGFF random graph), three
+// interruption points, three resume thread counts and three flush
+// cadences, plus the rejection paths (corrupt file, mismatched
+// problem).
+#include "seamap/seamap.h"
+
+#include "taskgraph/fig8.h"
+#include "taskgraph/mpeg2.h"
+#include "tgff/random_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace seamap {
+namespace {
+
+/// Cooperative "kill": request a stop after the Nth completed scaling,
+/// like a SIGINT landing mid-run (the CLI path flips the same token).
+class StopAfter : public ProgressObserver {
+public:
+    StopAfter(CancellationToken& cancel, std::size_t after)
+        : cancel_(cancel), after_(after) {}
+
+    void on_scaling_done(const ScalingProgress&) override {
+        if (++seen_ >= after_) cancel_.request_stop();
+    }
+
+private:
+    CancellationToken& cancel_;
+    std::size_t after_;
+    std::size_t seen_ = 0;
+};
+
+struct Scenario {
+    TaskGraph graph;
+    std::size_t cores;
+    double deadline;
+};
+
+Scenario fig8_scenario() { return {fig8_example_graph(), 3, 0.5}; }
+
+Scenario mpeg2_scenario() {
+    TaskGraph graph = mpeg2_decoder_graph();
+    const MpsocArchitecture two(2, VoltageScalingTable::arm7_three_level());
+    const double deadline = 1.3 * tm_lower_bound_seconds(graph, two, {1, 1});
+    return {std::move(graph), 4, deadline};
+}
+
+Scenario tgff_scenario() {
+    TgffParams params;
+    params.task_count = 12;
+    TaskGraph graph = generate_tgff_graph(params, 42);
+    const MpsocArchitecture two(2, VoltageScalingTable::arm7_three_level());
+    const double deadline = 1.35 * tm_lower_bound_seconds(graph, two, {1, 1});
+    return {std::move(graph), 3, deadline};
+}
+
+Problem make_problem(const Scenario& scenario) {
+    return ProblemBuilder()
+        .graph(scenario.graph)
+        .architecture(scenario.cores, VoltageScalingTable::arm7_three_level())
+        .deadline_seconds(scenario.deadline)
+        .build();
+}
+
+ExploreOptions make_options(std::size_t threads, bool track_min_power = false) {
+    ExploreOptions options;
+    options.dse.search.max_iterations = 400;
+    options.dse.search.seed = 7;
+    options.dse.search.track_min_power = track_min_power;
+    options.dse.num_threads = threads;
+    return options;
+}
+
+std::string report_bytes(const Problem& problem, const ExploreOptions& options,
+                         const DseResult& result) {
+    return optimize_report_json(problem, options.strategy, result).dump(2);
+}
+
+std::string ckpt_path(const std::string& tag) {
+    return testing::TempDir() + "/dse_ckpt_" + tag + ".ckpt";
+}
+
+/// Interrupt after `stop_after` completed scalings at `kill_threads`,
+/// then resume at `resume_threads`; returns the resumed report bytes.
+/// `slots_resumed_out`, when given, accumulates how many decided slots
+/// the resumed run actually restored (a stop can land before the first
+/// slot is decided, in which case resume degenerates to a fresh run —
+/// still correct, but callers should assert real resumes happen too).
+std::string kill_and_resume(const Scenario& scenario, const ExploreOptions& base,
+                            const std::string& path, std::size_t stop_after,
+                            std::size_t kill_threads, std::size_t resume_threads,
+                            std::uint64_t cadence_every,
+                            std::uint64_t* slots_resumed_out = nullptr) {
+    const Problem problem = make_problem(scenario);
+    remove_checkpoint(path);
+    {
+        ExploreOptions options = base;
+        options.dse.num_threads = kill_threads;
+        DseCheckpointer checkpointer(path, explore_state_hash(problem, options));
+        checkpointer.set_cadence(cadence_every, 0.0);
+        CancellationToken cancel;
+        StopAfter observer(cancel, stop_after);
+        (void)explore(problem, options, &observer, &cancel, &checkpointer);
+    }
+    ExploreOptions options = base;
+    options.dse.num_threads = resume_threads;
+    DseCheckpointer checkpointer(path, explore_state_hash(problem, options));
+    const auto info =
+        checkpointer.load(problem.graph().task_count(), problem.architecture().core_count());
+    if (slots_resumed_out != nullptr && info) *slots_resumed_out += info->slots_decided;
+    const DseResult resumed = explore(problem, options, nullptr, nullptr, &checkpointer);
+    remove_checkpoint(path);
+    return report_bytes(problem, options, resumed);
+}
+
+TEST(DseCheckpoint, Fig8KillAndResumeMatrix) {
+    const Scenario scenario = fig8_scenario();
+    const ExploreOptions base = make_options(1, /*track_min_power=*/true);
+    const Problem problem = make_problem(scenario);
+    const std::string baseline =
+        report_bytes(problem, base, explore(problem, base));
+    std::uint64_t slots_resumed = 0;
+    for (const std::size_t stop_after : {std::size_t{1}, std::size_t{3}, std::size_t{6}}) {
+        for (const std::size_t resume_threads :
+             {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+            const std::string resumed = kill_and_resume(
+                scenario, base, ckpt_path("fig8"), stop_after, 2, resume_threads,
+                /*cadence_every=*/1, &slots_resumed);
+            EXPECT_EQ(resumed, baseline)
+                << "stop_after=" << stop_after << " resume_threads=" << resume_threads;
+        }
+    }
+    // The matrix must exercise real resumes, not nine fresh restarts.
+    EXPECT_GT(slots_resumed, 0u);
+}
+
+TEST(DseCheckpoint, Fig8CadenceNeverChangesBytes) {
+    // Flush cadences only change WHEN snapshots hit the disk, never what
+    // a resumed run computes: count-of-1, count-of-4 and stop-only (the
+    // final flush on cancellation) must all reproduce the baseline.
+    const Scenario scenario = fig8_scenario();
+    const ExploreOptions base = make_options(1);
+    const Problem problem = make_problem(scenario);
+    const std::string baseline =
+        report_bytes(problem, base, explore(problem, base));
+    for (const std::uint64_t cadence : {std::uint64_t{1}, std::uint64_t{4}, std::uint64_t{0}}) {
+        const std::string resumed = kill_and_resume(scenario, base, ckpt_path("fig8_cad"),
+                                                    /*stop_after=*/4, 2, 2, cadence);
+        EXPECT_EQ(resumed, baseline) << "cadence_every=" << cadence;
+    }
+}
+
+TEST(DseCheckpoint, Mpeg2KillAndResumeAcrossThreadCounts) {
+    const Scenario scenario = mpeg2_scenario();
+    const ExploreOptions base = make_options(1);
+    const Problem problem = make_problem(scenario);
+    const std::string baseline =
+        report_bytes(problem, base, explore(problem, base));
+    EXPECT_EQ(kill_and_resume(scenario, base, ckpt_path("mpeg2_a"), 5, 8, 1, 1), baseline);
+    EXPECT_EQ(kill_and_resume(scenario, base, ckpt_path("mpeg2_b"), 9, 1, 8, 2), baseline);
+}
+
+TEST(DseCheckpoint, TgffKillAndResume) {
+    const Scenario scenario = tgff_scenario();
+    const ExploreOptions base = make_options(1);
+    const Problem problem = make_problem(scenario);
+    const std::string baseline =
+        report_bytes(problem, base, explore(problem, base));
+    EXPECT_EQ(kill_and_resume(scenario, base, ckpt_path("tgff"), 3, 2, 8, 1), baseline);
+}
+
+TEST(DseCheckpoint, CompletedSnapshotIsMemoizedExplore) {
+    const Scenario scenario = fig8_scenario();
+    const ExploreOptions options = make_options(2);
+    const Problem problem = make_problem(scenario);
+    const std::string path = ckpt_path("memo");
+    remove_checkpoint(path);
+    std::string first;
+    {
+        DseCheckpointer checkpointer(path, explore_state_hash(problem, options));
+        first = report_bytes(problem, options,
+                             explore(problem, options, nullptr, nullptr, &checkpointer));
+    }
+    DseCheckpointer checkpointer(path, explore_state_hash(problem, options));
+    const auto info =
+        checkpointer.load(problem.graph().task_count(), problem.architecture().core_count());
+    ASSERT_TRUE(info.has_value());
+    EXPECT_GT(info->slots_decided, 0u);
+    const DseResult replayed = explore(problem, options, nullptr, nullptr, &checkpointer);
+    EXPECT_EQ(report_bytes(problem, options, replayed), first);
+    remove_checkpoint(path);
+}
+
+TEST(DseCheckpoint, MismatchedProblemIsRejectedWithDiagnostic) {
+    const Scenario scenario = fig8_scenario();
+    const ExploreOptions options = make_options(1);
+    const Problem problem = make_problem(scenario);
+    const std::string path = ckpt_path("mismatch");
+    remove_checkpoint(path);
+    {
+        DseCheckpointer checkpointer(path, explore_state_hash(problem, options));
+        (void)explore(problem, options, nullptr, nullptr, &checkpointer);
+    }
+    // Same file, different problem (tighter deadline) — a different
+    // state hash, so resuming must fail loudly, naming both hashes.
+    Scenario other = fig8_scenario();
+    other.deadline = 0.4;
+    const Problem other_problem = make_problem(other);
+    DseCheckpointer checkpointer(path, explore_state_hash(other_problem, options));
+    try {
+        (void)checkpointer.load(other_problem.graph().task_count(),
+                                other_problem.architecture().core_count());
+        FAIL() << "expected checkpoint_mismatch";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::checkpoint_mismatch);
+        EXPECT_NE(std::string(e.what()).find("state hash"), std::string::npos);
+    }
+    remove_checkpoint(path);
+}
+
+TEST(DseCheckpoint, CorruptSnapshotWithoutFallbackIsRejected) {
+    const Scenario scenario = fig8_scenario();
+    const ExploreOptions options = make_options(1);
+    const Problem problem = make_problem(scenario);
+    const std::string path = ckpt_path("corrupt");
+    remove_checkpoint(path);
+    {
+        std::ofstream os(path);
+        os << "seamap-checkpoint 1\nnot really\n";
+    }
+    DseCheckpointer checkpointer(path, explore_state_hash(problem, options));
+    try {
+        (void)checkpointer.load(problem.graph().task_count(),
+                                problem.architecture().core_count());
+        FAIL() << "expected checkpoint_corrupt";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::checkpoint_corrupt);
+    }
+    remove_checkpoint(path);
+}
+
+TEST(DseCheckpoint, TruncatedSnapshotFallsBackToPrev) {
+    // Kill-during-write simulation: the primary is torn mid-byte, the
+    // rotated .prev must transparently supply the last good prefix.
+    const Scenario scenario = fig8_scenario();
+    const ExploreOptions base = make_options(2);
+    const Problem problem = make_problem(scenario);
+    const std::string path = ckpt_path("torn");
+    remove_checkpoint(path);
+    {
+        DseCheckpointer checkpointer(path, explore_state_hash(problem, base));
+        checkpointer.set_cadence(1, 0.0); // >= 2 flushes, so .prev exists
+        CancellationToken cancel;
+        StopAfter observer(cancel, 5);
+        (void)explore(problem, base, &observer, &cancel, &checkpointer);
+    }
+    ASSERT_TRUE(std::filesystem::exists(path + ".prev"));
+    {
+        std::ifstream is(path);
+        std::string text{std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>()};
+        std::ofstream os(path, std::ios::trunc);
+        os << text.substr(0, text.size() / 2);
+    }
+    DseCheckpointer checkpointer(path, explore_state_hash(problem, base));
+    const auto info =
+        checkpointer.load(problem.graph().task_count(), problem.architecture().core_count());
+    ASSERT_TRUE(info.has_value());
+    EXPECT_TRUE(info->from_fallback);
+    const std::string baseline = report_bytes(problem, base, explore(problem, base));
+    const DseResult resumed = explore(problem, base, nullptr, nullptr, &checkpointer);
+    EXPECT_EQ(report_bytes(problem, base, resumed), baseline);
+    remove_checkpoint(path);
+}
+
+} // namespace
+} // namespace seamap

@@ -1,0 +1,195 @@
+// Kill-and-resume for the sharded fault-injection campaign: stop the
+// engine between shards, resume from the snapshot at a different
+// thread count, and the merged report must be byte-identical to the
+// uninterrupted run — the exact-integer-moment merge discipline makes
+// shard restoration order-invariant. Plus the rejection paths.
+#include "seamap/seamap.h"
+
+#include "sim/campaign_checkpoint.h"
+#include "taskgraph/fig8.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <string>
+
+namespace seamap {
+namespace {
+
+struct Design {
+    Problem problem;
+    DsePoint best;
+    Schedule schedule;
+};
+
+Design make_design() {
+    Problem problem = ProblemBuilder()
+                          .graph(fig8_example_graph())
+                          .architecture(3, VoltageScalingTable::arm7_three_level())
+                          .deadline_seconds(0.5)
+                          .build();
+    ExploreOptions options;
+    options.dse.search.max_iterations = 300;
+    options.dse.search.seed = 7;
+    const DseResult result = explore(problem, options);
+    EXPECT_TRUE(result.best.has_value());
+    const DsePoint best = *result.best;
+    Schedule schedule = ListScheduler{}.schedule(problem.graph(), best.mapping,
+                                                 problem.architecture(), best.levels);
+    return {std::move(problem), best, std::move(schedule)};
+}
+
+CampaignConfig make_config(std::uint64_t shard_size, std::size_t threads) {
+    CampaignConfig config;
+    config.trials = 3'000;
+    config.shard_size = shard_size;
+    config.num_threads = threads;
+    config.seed = 11;
+    return config;
+}
+
+std::string report_bytes(const CampaignReport& report) { return to_json(report).dump(2); }
+
+std::string ckpt_path(const std::string& tag) {
+    return testing::TempDir() + "/campaign_ckpt_" + tag + ".ckpt";
+}
+
+std::uint64_t state_hash(const Design& design, const CampaignEngine& engine) {
+    return campaign_state_hash(design.problem.graph(), design.best.mapping,
+                               design.problem.architecture(), design.best.levels,
+                               design.schedule, engine.ser_model(), engine.config());
+}
+
+CampaignReport run(const Design& design, const CampaignEngine& engine,
+                   const CancellationToken* cancel, CampaignCheckpointer* ckpt) {
+    return engine.run(design.problem.graph(), design.best.mapping,
+                      design.problem.architecture(), design.best.levels, design.schedule,
+                      cancel, ckpt);
+}
+
+/// Interrupt after `stop_after` recorded shards, resume at
+/// `resume_threads`; returns the resumed report bytes.
+std::string kill_and_resume(const Design& design, std::uint64_t shard_size,
+                            std::size_t kill_threads, std::size_t resume_threads,
+                            std::uint64_t stop_after, const std::string& path,
+                            std::uint64_t* shards_resumed_out = nullptr) {
+    remove_checkpoint(path);
+    const SerModel& ser = design.problem.ser_model();
+    {
+        const CampaignEngine engine(ser, make_config(shard_size, kill_threads));
+        CampaignCheckpointer ckpt(path, state_hash(design, engine));
+        ckpt.set_cadence(1, 0.0);
+        CancellationToken cancel;
+        ckpt.on_shard_recorded = [&](std::uint64_t done) {
+            if (done >= stop_after) cancel.request_stop();
+        };
+        const CampaignReport partial = run(design, engine, &cancel, &ckpt);
+        EXPECT_LE(partial.shards_completed, partial.shards);
+    }
+    const CampaignEngine engine(ser, make_config(shard_size, resume_threads));
+    CampaignCheckpointer ckpt(path, state_hash(design, engine));
+    const auto info = ckpt.load();
+    if (shards_resumed_out != nullptr && info) *shards_resumed_out += info->shards_completed;
+    const CampaignReport resumed = run(design, engine, nullptr, &ckpt);
+    EXPECT_EQ(resumed.shards_completed, resumed.shards);
+    remove_checkpoint(path);
+    return report_bytes(resumed);
+}
+
+TEST(CampaignCheckpoint, KillAndResumeMatrix) {
+    const Design design = make_design();
+    const CampaignEngine baseline_engine(design.problem.ser_model(), make_config(256, 1));
+    const std::string baseline =
+        report_bytes(run(design, baseline_engine, nullptr, nullptr));
+    std::uint64_t shards_resumed = 0;
+    for (const std::uint64_t stop_after :
+         {std::uint64_t{1}, std::uint64_t{4}, std::uint64_t{9}}) {
+        for (const std::size_t resume_threads :
+             {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+            const std::string resumed =
+                kill_and_resume(design, 256, 2, resume_threads, stop_after,
+                                ckpt_path("matrix"), &shards_resumed);
+            EXPECT_EQ(resumed, baseline)
+                << "stop_after=" << stop_after << " resume_threads=" << resume_threads;
+        }
+    }
+    EXPECT_GT(shards_resumed, 0u);
+}
+
+TEST(CampaignCheckpoint, ShardSizeVariantsEachMatchTheirOwnBaseline) {
+    const Design design = make_design();
+    for (const std::uint64_t shard_size : {std::uint64_t{128}, std::uint64_t{512}}) {
+        const CampaignEngine engine(design.problem.ser_model(),
+                                    make_config(shard_size, 1));
+        const std::string baseline = report_bytes(run(design, engine, nullptr, nullptr));
+        EXPECT_EQ(kill_and_resume(design, shard_size, 8, 1, 3, ckpt_path("shards")),
+                  baseline)
+            << "shard_size=" << shard_size;
+    }
+}
+
+TEST(CampaignCheckpoint, InterruptedReportIsMarkedPartial) {
+    const Design design = make_design();
+    const std::string path = ckpt_path("partial");
+    remove_checkpoint(path);
+    const CampaignEngine engine(design.problem.ser_model(), make_config(256, 2));
+    CampaignCheckpointer ckpt(path, state_hash(design, engine));
+    CancellationToken cancel;
+    ckpt.on_shard_recorded = [&](std::uint64_t done) {
+        if (done >= 2) cancel.request_stop();
+    };
+    const CampaignReport partial = run(design, engine, &cancel, &ckpt);
+    ASSERT_LT(partial.shards_completed, partial.shards);
+    // The partial JSON document says so explicitly.
+    const std::string json = report_bytes(partial);
+    EXPECT_NE(json.find("\"shards_completed\""), std::string::npos);
+    remove_checkpoint(path);
+}
+
+TEST(CampaignCheckpoint, DifferentSeedIsMismatch) {
+    const Design design = make_design();
+    const std::string path = ckpt_path("mismatch");
+    remove_checkpoint(path);
+    const SerModel& ser = design.problem.ser_model();
+    {
+        const CampaignEngine engine(ser, make_config(256, 1));
+        CampaignCheckpointer ckpt(path, state_hash(design, engine));
+        CancellationToken cancel;
+        ckpt.on_shard_recorded = [&](std::uint64_t) { cancel.request_stop(); };
+        (void)run(design, engine, &cancel, &ckpt);
+    }
+    CampaignConfig other = make_config(256, 1);
+    other.seed = 999;
+    const CampaignEngine engine(ser, other);
+    CampaignCheckpointer ckpt(path, state_hash(design, engine));
+    try {
+        (void)ckpt.load();
+        FAIL() << "expected checkpoint_mismatch";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::checkpoint_mismatch);
+    }
+    remove_checkpoint(path);
+}
+
+TEST(CampaignCheckpoint, CorruptSnapshotIsRejected) {
+    const Design design = make_design();
+    const std::string path = ckpt_path("corrupt");
+    remove_checkpoint(path);
+    {
+        std::ofstream os(path);
+        os << "seamap-checkpoint 1\nlibrary 0.0.0\n";
+    }
+    const CampaignEngine engine(design.problem.ser_model(), make_config(256, 1));
+    CampaignCheckpointer ckpt(path, state_hash(design, engine));
+    try {
+        (void)ckpt.load();
+        FAIL() << "expected checkpoint_corrupt";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::checkpoint_corrupt);
+    }
+    remove_checkpoint(path);
+}
+
+} // namespace
+} // namespace seamap

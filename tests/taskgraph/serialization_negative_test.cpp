@@ -1,0 +1,162 @@
+// Adversarial inputs for the task-graph reader: every malformed
+// document must produce a seamap::Error with ErrorCategory::parse and
+// a useful message — never undefined behavior, a bad_alloc from a
+// hostile declared count, or an unstructured exception leaking out of
+// a lower layer.
+#include "taskgraph/serialization.h"
+
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <typeinfo>
+
+namespace seamap {
+namespace {
+
+Error parse_failure(const std::string& text) {
+    std::stringstream buffer{text};
+    try {
+        (void)read_task_graph(buffer);
+    } catch (const Error& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::parse) << e.what();
+        return e;
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << "expected seamap::Error, got " << typeid(e).name() << ": "
+                      << e.what();
+        return Error(ErrorCategory::internal, "wrong exception type");
+    }
+    ADD_FAILURE() << "expected parse failure, input accepted";
+    return Error(ErrorCategory::internal, "input accepted");
+}
+
+void expect_message_contains(const Error& error, const std::string& needle) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "what() = " << error.what();
+}
+
+const std::string k_valid_prefix = "graph g\nbatches 1\nregisters 1\nreg r0 8\n";
+
+TEST(SerializationNegative, EmptyInput) {
+    expect_message_contains(parse_failure(""), "unexpected end of input");
+}
+
+TEST(SerializationNegative, TruncatedAfterEveryHeader) {
+    // Chop the document after each section header; all must fail cleanly.
+    const std::string full = k_valid_prefix + "tasks 1\ntask a 10 1 0\nedges 0\n";
+    for (std::size_t cut = 0; cut + 1 < full.size(); ++cut) {
+        std::stringstream buffer{full.substr(0, cut)};
+        EXPECT_THROW((void)read_task_graph(buffer), Error) << "cut at " << cut;
+    }
+}
+
+TEST(SerializationNegative, GiantRegisterCountRejectedBeforeLooping) {
+    const Error e = parse_failure("graph g\nbatches 1\nregisters 18446744073709551615\n");
+    expect_message_contains(e, "register count");
+    expect_message_contains(e, "limit");
+}
+
+TEST(SerializationNegative, GiantTaskCountRejected) {
+    const Error e = parse_failure(k_valid_prefix + "tasks 99999999999\n");
+    expect_message_contains(e, "task count");
+}
+
+TEST(SerializationNegative, GiantEdgeCountRejected) {
+    const Error e =
+        parse_failure(k_valid_prefix + "tasks 1\ntask a 10 0\nedges 4000000000\n");
+    expect_message_contains(e, "edge count");
+}
+
+TEST(SerializationNegative, GiantTaskRegisterListCountDoesNotOverflow) {
+    // 4 + 18446744073709551613 would wrap to 1 if computed naively.
+    const Error e =
+        parse_failure(k_valid_prefix + "tasks 1\ntask a 10 18446744073709551613 0\n");
+    expect_message_contains(e, "task register count");
+}
+
+TEST(SerializationNegative, NonNumericBatchCount) {
+    const Error e = parse_failure("graph g\nbatches soon\n");
+    expect_message_contains(e, "line 2");
+    expect_message_contains(e, "not an unsigned integer");
+}
+
+TEST(SerializationNegative, NonNumericExecCycles) {
+    const Error e = parse_failure(k_valid_prefix + "tasks 1\ntask a fast 0\n");
+    expect_message_contains(e, "not an unsigned integer");
+}
+
+TEST(SerializationNegative, NegativeCountRejected) {
+    const Error e = parse_failure("graph g\nbatches -3\n");
+    expect_message_contains(e, "not an unsigned integer");
+}
+
+TEST(SerializationNegative, ZeroBatchCountRejected) {
+    const Error e = parse_failure("graph g\nbatches 0\nregisters 0\n"
+                                  "tasks 1\ntask a 10 0\nedges 0\n");
+    expect_message_contains(e, "batch count");
+}
+
+TEST(SerializationNegative, ZeroExecCyclesRejectedWithLine) {
+    const Error e = parse_failure(k_valid_prefix + "tasks 1\ntask a 0 0\nedges 0\n");
+    expect_message_contains(e, "line 6");
+    expect_message_contains(e, "positive cost");
+}
+
+TEST(SerializationNegative, RegisterWidthOverLimitRejected) {
+    const Error e =
+        parse_failure("graph g\nbatches 1\nregisters 1\nreg r0 9999999999999999\n");
+    expect_message_contains(e, "register width");
+    expect_message_contains(e, "limit");
+}
+
+TEST(SerializationNegative, RegisterIdOutOfRange) {
+    const Error e = parse_failure(k_valid_prefix + "tasks 1\ntask a 10 1 7\nedges 0\n");
+    expect_message_contains(e, "register id 7 out of range");
+}
+
+TEST(SerializationNegative, EdgeEndpointOutOfRange) {
+    const Error e = parse_failure(k_valid_prefix +
+                                  "tasks 2\ntask a 10 0\ntask b 10 0\n"
+                                  "edges 1\nedge 0 5 1\n");
+    expect_message_contains(e, "edge endpoint out of range");
+}
+
+TEST(SerializationNegative, DuplicateEdgeRejectedWithLine) {
+    const Error e = parse_failure(k_valid_prefix +
+                                  "tasks 2\ntask a 10 0\ntask b 10 0\n"
+                                  "edges 2\nedge 0 1 1\nedge 0 1 2\n");
+    expect_message_contains(e, "line 10");
+    expect_message_contains(e, "duplicate edge");
+}
+
+TEST(SerializationNegative, SelfLoopRejectedWithLine) {
+    const Error e = parse_failure(k_valid_prefix +
+                                  "tasks 1\ntask a 10 0\nedges 1\nedge 0 0 1\n");
+    expect_message_contains(e, "self-loop");
+}
+
+TEST(SerializationNegative, WrongFieldCountOnEdge) {
+    const Error e =
+        parse_failure(k_valid_prefix + "tasks 1\ntask a 10 0\nedges 1\nedge 0 1\n");
+    expect_message_contains(e, "'edge' expects 3 fields");
+}
+
+TEST(SerializationNegative, EmptyGraphFailsValidation) {
+    const Error e = parse_failure("graph g\nbatches 1\nregisters 0\ntasks 0\nedges 0\n");
+    expect_message_contains(e, "no tasks");
+}
+
+TEST(SerializationNegative, MissingFileIsIoError) {
+    try {
+        (void)load_task_graph("/nonexistent/definitely/missing.tg");
+        FAIL() << "expected io error";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::io);
+        EXPECT_EQ(e.context(), "/nonexistent/definitely/missing.tg");
+    }
+}
+
+} // namespace
+} // namespace seamap

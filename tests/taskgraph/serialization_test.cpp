@@ -2,6 +2,7 @@
 
 #include "taskgraph/fig8.h"
 #include "taskgraph/mpeg2.h"
+#include "util/error.h"
 
 #include <gtest/gtest.h>
 
@@ -75,7 +76,8 @@ TEST(Serialization, WrongKeywordReportsLine) {
     try {
         (void)read_task_graph(buffer);
         FAIL() << "expected parse error";
-    } catch (const std::invalid_argument& e) {
+    } catch (const Error& e) {
+        EXPECT_EQ(e.category(), ErrorCategory::parse);
         EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
         EXPECT_NE(std::string(e.what()).find("registers"), std::string::npos);
     }
@@ -84,14 +86,14 @@ TEST(Serialization, WrongKeywordReportsLine) {
 TEST(Serialization, TruncatedInputThrows) {
     std::stringstream buffer;
     buffer << "graph g\nbatches 1\nregisters 1\n"; // register line missing
-    EXPECT_THROW((void)read_task_graph(buffer), std::invalid_argument);
+    EXPECT_THROW((void)read_task_graph(buffer), Error);
 }
 
 TEST(Serialization, RegisterListLengthMismatchThrows) {
     std::stringstream buffer;
     buffer << "graph g\nbatches 1\nregisters 1\nreg r0 8\n"
            << "tasks 1\ntask a 10 2 0\n"; // claims 2 registers, lists 1
-    EXPECT_THROW((void)read_task_graph(buffer), std::invalid_argument);
+    EXPECT_THROW((void)read_task_graph(buffer), Error);
 }
 
 TEST(Serialization, CyclicInputFailsValidation) {
@@ -99,7 +101,7 @@ TEST(Serialization, CyclicInputFailsValidation) {
     buffer << "graph g\nbatches 1\nregisters 0\n"
            << "tasks 2\ntask a 1 0\ntask b 1 0\n"
            << "edges 2\nedge 0 1 1\nedge 1 0 1\n";
-    EXPECT_THROW((void)read_task_graph(buffer), std::invalid_argument);
+    EXPECT_THROW((void)read_task_graph(buffer), Error);
 }
 
 TEST(Serialization, FileRoundTrip) {

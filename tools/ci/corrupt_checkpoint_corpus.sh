@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Corrupt-checkpoint corpus: damage a real snapshot in every way a
+# crash or disk fault plausibly would (truncations at many offsets,
+# single-byte flips, garbage, a kind swap) and prove seamap_cli
+# rejects each one gracefully — exit code 0 (fallback recovered) or 2
+# (structured rejection), never a crash, never a sanitizer abort.
+#
+# Usage: corrupt_checkpoint_corpus.sh <path-to-seamap_cli>
+set -u
+
+cli=${1:?usage: corrupt_checkpoint_corpus.sh <path-to-seamap_cli>}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+graph="$work/fig8.tg"
+ckpt="$work/snap.ckpt"
+pristine="$work/pristine.ckpt"
+
+"$cli" generate fig8 -o "$graph" || exit 1
+"$cli" optimize "$graph" --cores 2 --checkpoint "$ckpt" > /dev/null || exit 1
+cp "$ckpt" "$pristine"
+size=$(wc -c < "$pristine")
+
+failures=0
+cases=0
+
+# One corpus entry: a damaged primary with no .prev fallback. The run
+# must exit 0 or 2; on 2 the --json surface must carry the structured
+# error object.
+check_case() {
+    local label=$1
+    rm -f "$ckpt.prev" "$ckpt.tmp"
+    cases=$((cases + 1))
+    local out rc
+    out=$("$cli" optimize "$graph" --cores 2 --checkpoint "$ckpt" --resume --json \
+        2> "$work/stderr.txt")
+    rc=$?
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 2 ]; then
+        echo "FAIL [$label]: exit code $rc (expected 0 or 2)"
+        cat "$work/stderr.txt"
+        failures=$((failures + 1))
+        return
+    fi
+    if [ "$rc" -eq 2 ] && ! printf '%s' "$out" | grep -q '"error"'; then
+        echo "FAIL [$label]: exit 2 without a structured {\"error\"} object"
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok   [$label]: exit $rc"
+}
+
+# Truncations: a torn write can stop anywhere.
+for keep in 0 1 7 16 $((size / 4)) $((size / 2)) $((size - 1)); do
+    head -c "$keep" "$pristine" > "$ckpt"
+    check_case "truncate-to-$keep"
+done
+
+# Single-byte flips spread across the file: envelope, payload, checksum.
+for offset in 0 5 $((size / 3)) $((size / 2)) $((size - 2)); do
+    cp "$pristine" "$ckpt"
+    printf 'Z' | dd of="$ckpt" bs=1 seek="$offset" conv=notrunc status=none
+    check_case "flip-byte-$offset"
+done
+
+# Wholesale garbage, empty file, and binary noise.
+printf 'this is not a checkpoint\n' > "$ckpt"
+check_case "garbage-text"
+: > "$ckpt"
+check_case "empty-file"
+head -c 256 /dev/urandom > "$ckpt"
+check_case "binary-noise"
+
+# Right envelope, wrong kind: a campaign snapshot fed to optimize.
+sed 's/^kind dse$/kind campaign/' "$pristine" > "$ckpt"
+check_case "kind-swap"
+
+# Sanity: the pristine snapshot must still resume cleanly (exit 0).
+cp "$pristine" "$ckpt"
+rm -f "$ckpt.prev" "$ckpt.tmp"
+if ! "$cli" optimize "$graph" --cores 2 --checkpoint "$ckpt" --resume > /dev/null; then
+    echo "FAIL [pristine]: the undamaged snapshot no longer resumes"
+    failures=$((failures + 1))
+fi
+cases=$((cases + 1))
+
+echo "corrupt-checkpoint corpus: $((cases - failures))/$cases cases passed"
+[ "$failures" -eq 0 ]

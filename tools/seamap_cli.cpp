@@ -17,6 +17,7 @@
 
 #include "sched/gantt.h"
 #include "sim/campaign.h"
+#include "sim/campaign_checkpoint.h"
 #include "sim/fault_injection.h"
 #include "taskgraph/dot.h"
 #include "taskgraph/fig8.h"
@@ -28,6 +29,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -37,6 +39,27 @@
 using namespace seamap;
 
 namespace {
+
+// Exit codes (a wire contract; see README "Crash safety & resume"):
+//   0  success
+//   1  completed, but no feasible design exists
+//   2  failure (usage, parse, io, corrupt/mismatched checkpoint, ...)
+//   3  interrupted by SIGINT/SIGTERM; any --checkpoint snapshot is
+//      saved and the run can continue with --resume
+constexpr int k_exit_no_design = 1;
+constexpr int k_exit_failure = 2;
+constexpr int k_exit_interrupted = 3;
+
+/// The process-wide stop flag, flipped by SIGINT/SIGTERM. request_stop
+/// is one relaxed atomic store — async-signal-safe.
+CancellationToken g_cancel;
+
+extern "C" void handle_stop_signal(int) { g_cancel.request_stop(); }
+
+void install_signal_handlers() {
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+}
 
 /// Minimal --flag/--key value argument parser.
 class ArgList {
@@ -85,7 +108,7 @@ private:
     /// not swallowed when flags precede it.
     static bool is_boolean_flag(const std::string& arg) {
         return arg == "--all-cores" || arg == "--gantt" || arg == "--help" ||
-               arg == "--json";
+               arg == "--json" || arg == "--no-prune" || arg == "--resume";
     }
 
     std::vector<std::string> args_;
@@ -106,6 +129,8 @@ void print_usage(std::ostream& out) {
         "           [--strategy " << join(search_strategy_names(), "|") << "]\n"
         "           [--iterations I] [--seed S] [--threads W] [--all-cores]\n"
         "           [--no-prune] [--multi-start K] [--json] [--dot out.dot] [--gantt]\n"
+        "           [--checkpoint FILE [--resume] [--checkpoint-every N]\n"
+        "            [--checkpoint-interval SECONDS]]\n"
         "           full Fig. 4 DSE (bound-driven branch and bound; --no-prune\n"
         "           forces the exhaustive sweep, same best/front either way);\n"
         "           prints the chosen design and the Pareto front\n"
@@ -118,6 +143,8 @@ void print_usage(std::ostream& out) {
         "           [--seed S] [--threads W] [--policy full|busy|task]\n"
         "           [--weight-register X] [--weight-pipeline X] [--weight-memory X]\n"
         "           [--pipeline-bits B] [--json]\n"
+        "           [--checkpoint FILE [--resume] [--checkpoint-every N]\n"
+        "            [--checkpoint-interval SECONDS]]\n"
         "           optimize, then run the sharded fault-injection campaign with\n"
         "           differentiated fault sites (register file / pipeline / memory)\n"
         "           and per-task/per-core/per-site attribution; results are\n"
@@ -125,15 +152,63 @@ void print_usage(std::ostream& out) {
         "  version | --version\n"
         "           print the library version\n"
         "  help | --help\n"
-        "           show this message\n";
+        "           show this message\n"
+        "\n"
+        "crash safety: --checkpoint FILE snapshots progress (atomically,\n"
+        "with a rotated .prev fallback); Ctrl-C/SIGTERM stops gracefully\n"
+        "with exit code 3, and --resume continues from the snapshot —\n"
+        "final results are byte-identical to the uninterrupted run.\n"
+        "exit codes: 0 ok, 1 no feasible design, 2 failure, 3 interrupted.\n";
 }
 
 /// For invocation errors: usage goes to stderr, exit status is 2.
 /// (`help`/`--help` print the same text to stdout and exit 0.)
 int usage_error() {
     print_usage(std::cerr);
-    return 2;
+    return k_exit_failure;
 }
+
+/// The --checkpoint option family, shared by optimize and campaign.
+struct CheckpointArgs {
+    std::optional<std::string> path;
+    bool resume = false;
+    std::uint64_t every = 8;  ///< flush after this many new records/shards
+    double interval = 5.0;    ///< and at least this often (seconds)
+};
+
+CheckpointArgs checkpoint_args(const ArgList& args) {
+    CheckpointArgs out;
+    out.path = args.value("--checkpoint");
+    out.resume = args.flag("--resume");
+    out.every = args.u64("--checkpoint-every", out.every);
+    out.interval = args.real("--checkpoint-interval", out.interval);
+    if (!out.path && out.resume)
+        throw Error(ErrorCategory::usage, "--resume requires --checkpoint <file>");
+    return out;
+}
+
+/// Report a graceful SIGINT/SIGTERM stop. Under --json the machine
+/// surface is the same {"error": ...} object every failure uses, with
+/// the stable code "canceled".
+int interrupted_exit(const ArgList& args, const std::optional<std::string>& saved_to) {
+    Error error = saved_to ? Error(ErrorCategory::canceled,
+                                   "interrupted; checkpoint saved, rerun with --resume "
+                                   "to continue",
+                                   *saved_to)
+                           : Error(ErrorCategory::canceled,
+                                   "interrupted; no --checkpoint given, progress lost");
+    if (args.flag("--json")) {
+        JsonValue out = JsonValue::object();
+        out["error"] = to_json(error);
+        std::cout << out.dump(2) << '\n';
+    }
+    std::cerr << "error: " << error.what() << '\n';
+    return k_exit_interrupted;
+}
+
+/// Per-subcommand note channel for resume messaging (stderr, so JSON
+/// stdout stays pure).
+void note(const std::string& text) { std::cerr << "note: " << text << '\n'; }
 
 SimExposurePolicy parse_sim_policy(const std::string& text) {
     if (text == "full") return SimExposurePolicy::full_duration;
@@ -280,7 +355,28 @@ int cmd_optimize(const ArgList& args) {
     options.dse.num_threads = args.u64("--threads", 1);
     options.dse.prune = !args.flag("--no-prune");
     options.dse.multi_start = args.u64("--multi-start", 1);
-    const DseResult result = explore(problem, options);
+
+    const CheckpointArgs ckpt = checkpoint_args(args);
+    std::optional<DseCheckpointer> checkpointer;
+    if (ckpt.path) {
+        checkpointer.emplace(*ckpt.path, explore_state_hash(problem, options));
+        checkpointer->set_cadence(ckpt.every, ckpt.interval);
+        if (ckpt.resume) {
+            const auto info = checkpointer->load(graph.task_count(), cores);
+            if (!info) {
+                note("no checkpoint at " + *ckpt.path + "; starting fresh");
+            } else {
+                if (info->from_fallback)
+                    note("primary checkpoint was corrupt; resumed from " + *ckpt.path +
+                         ".prev");
+                note("resuming: " + std::to_string(info->slots_decided) +
+                     " scaling slots already decided");
+            }
+        }
+    }
+    const DseResult result = explore(problem, options, nullptr, &g_cancel,
+                                     checkpointer ? &*checkpointer : nullptr);
+    if (g_cancel.cancel_requested()) return interrupted_exit(args, ckpt.path);
 
     // --dot is a file side-effect, so it composes with --json (the
     // confirmation goes to stderr to keep stdout pure JSON); --gantt is
@@ -433,7 +529,28 @@ int cmd_campaign(const ArgList& args) {
     options.dse.num_threads = args.u64("--threads", 1);
     options.dse.prune = !args.flag("--no-prune");
     options.dse.multi_start = args.u64("--multi-start", 1);
-    const DseResult result = explore(problem, options);
+
+    // Two snapshots ride one --checkpoint stem: <FILE>.dse for the
+    // exploration (a completed snapshot doubles as a memoized explore on
+    // resume) and <FILE>.sim for the campaign's shard partials.
+    const CheckpointArgs ckpt = checkpoint_args(args);
+    std::optional<DseCheckpointer> dse_ckpt;
+    if (ckpt.path) {
+        dse_ckpt.emplace(*ckpt.path + ".dse", explore_state_hash(problem, options));
+        dse_ckpt->set_cadence(ckpt.every, ckpt.interval);
+        if (ckpt.resume) {
+            const auto info = dse_ckpt->load(problem.graph().task_count(),
+                                             problem.architecture().core_count());
+            if (info && info->slots_decided > 0)
+                note("resuming exploration: " + std::to_string(info->slots_decided) +
+                     " scaling slots already decided");
+        }
+    }
+    const DseResult result =
+        explore(problem, options, nullptr, &g_cancel, dse_ckpt ? &*dse_ckpt : nullptr);
+    if (g_cancel.cancel_requested())
+        return interrupted_exit(
+            args, ckpt.path ? std::optional<std::string>(*ckpt.path + ".dse") : std::nullopt);
 
     if (!result.best) {
         if (args.flag("--json"))
@@ -462,8 +579,26 @@ int cmd_campaign(const ArgList& args) {
     config.weights.memory = args.real("--weight-memory", config.weights.memory);
     config.pipeline_bits = args.real("--pipeline-bits", config.pipeline_bits);
     const CampaignEngine engine(problem.ser_model(), config);
-    const CampaignReport report =
-        engine.run(graph, best.mapping, arch, best.levels, schedule);
+
+    std::optional<CampaignCheckpointer> sim_ckpt;
+    if (ckpt.path) {
+        sim_ckpt.emplace(*ckpt.path + ".sim",
+                         campaign_state_hash(graph, best.mapping, arch, best.levels,
+                                             schedule, problem.ser_model(), config));
+        sim_ckpt->set_cadence(ckpt.every, ckpt.interval);
+        if (ckpt.resume) {
+            const auto info = sim_ckpt->load();
+            if (info && info->shards_completed > 0)
+                note("resuming campaign: " + std::to_string(info->shards_completed) + "/" +
+                     std::to_string(info->shard_count) + " shards already measured");
+        }
+    }
+    const CampaignReport report = engine.run(graph, best.mapping, arch, best.levels,
+                                             schedule, &g_cancel,
+                                             sim_ckpt ? &*sim_ckpt : nullptr);
+    if (g_cancel.cancel_requested() && report.shards_completed < report.shards)
+        return interrupted_exit(
+            args, ckpt.path ? std::optional<std::string>(*ckpt.path + ".sim") : std::nullopt);
 
     if (args.flag("--json")) {
         std::cout << campaign_report_json(problem, options.strategy, &best, &report).dump(2)
@@ -515,10 +650,29 @@ int cmd_campaign(const ArgList& args) {
 
 } // namespace
 
+namespace {
+
+/// One failure surface for every thrown error: a single `error:` line
+/// on stderr, a {"error": {"code", "message", ...}} object on stdout
+/// under --json, exit code 2. Ad-hoc exceptions from lower layers are
+/// folded into the same shape with a conservative category.
+int report_failure(const ArgList& args, const Error& error) {
+    if (args.flag("--json")) {
+        JsonValue out = JsonValue::object();
+        out["error"] = to_json(error);
+        std::cout << out.dump(2) << '\n';
+    }
+    std::cerr << "error: " << error.what() << '\n';
+    return k_exit_failure;
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
     if (argc < 2) return usage_error();
     const std::string command = argv[1];
     const ArgList args(argc, argv, 2);
+    install_signal_handlers();
     try {
         if (command == "version" || command == "--version") {
             std::cout << "seamap " << k_version_string << '\n';
@@ -536,8 +690,11 @@ int main(int argc, char** argv) {
         if (command == "campaign") return cmd_campaign(args);
         std::cerr << "unknown subcommand '" << command << "'\n";
         return usage_error();
+    } catch (const Error& e) {
+        return report_failure(args, e);
+    } catch (const std::invalid_argument& e) {
+        return report_failure(args, Error(ErrorCategory::invalid_argument, e.what()));
     } catch (const std::exception& e) {
-        std::cerr << "error: " << e.what() << '\n';
-        return 1;
+        return report_failure(args, Error(ErrorCategory::internal, e.what()));
     }
 }
