@@ -269,6 +269,88 @@ void bm_explore_multi_start(benchmark::State& state) {
 }
 BENCHMARK(bm_explore_multi_start)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// The saturation curve behind the multi-start payoff property test
+// (tests/core/dse_multi_start_test.cpp): K = 1/2/4/8 independent
+// starts per scaling at a fixed 8 workers. Until K x runnable
+// scalings saturates the pool, extra starts ride on idle threads —
+// the wall-clock curve bends well below linear in K.
+void bm_multi_start_saturation(benchmark::State& state) {
+    const Problem problem = prunable_pipeline_problem(3);
+    ExploreOptions options;
+    options.dse.search.max_iterations = 1'000;
+    options.dse.num_threads = 8;
+    options.dse.multi_start = static_cast<std::size_t>(state.range(0));
+    DseResult last;
+    for (auto _ : state) {
+        last = explore(problem, options);
+        benchmark::DoNotOptimize(last);
+    }
+    state.counters["feasible"] = static_cast<double>(last.feasible_points.size());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(last.scalings_searched) *
+                            state.range(0));
+}
+BENCHMARK(bm_multi_start_saturation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The giant-instance tentpole point: lazy bound-sorted enumeration on
+// the committed 20349-slot acceptance scenario (see
+// scale_acceptance_problem and tests/integration/dse_scale_test.cpp,
+// which pins < 50% of slots emitted with byte-identical outputs).
+// Single pass per measurement — these runs take tens of seconds, and
+// the counters are the point: emitted/pruned tell the lazy-vs-
+// materialized story, wall-clock the payoff.
+void bm_explore_scale(benchmark::State& state, bool prune) {
+    const Problem problem = scale_acceptance_problem();
+    ExploreOptions options;
+    options.dse.search.max_iterations = 300;
+    options.dse.search.restarts = 1;
+    options.dse.search.seed = 1;
+    options.dse.prune = prune;
+    options.dse.num_threads = static_cast<std::size_t>(state.range(0));
+    DseResult last;
+    for (auto _ : state) {
+        last = explore(problem, options);
+        benchmark::DoNotOptimize(last);
+    }
+    state.counters["total"] = static_cast<double>(last.scalings_total);
+    state.counters["emitted"] = static_cast<double>(last.scalings_emitted);
+    state.counters["searched"] = static_cast<double>(last.scalings_searched);
+    state.counters["pruned"] = static_cast<double>(last.scalings_pruned);
+}
+BENCHMARK_CAPTURE(bm_explore_scale, materialized, false)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_explore_scale, lazy, true)
+    ->Arg(1)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Raw giant-graph throughput of the --scale TGFF family: a 1000-task
+// graph through the whole lazy pipeline (gate, bounds, SoA eval,
+// calendar-queue scheduling) with a token per-slot budget.
+void bm_explore_scale_tgff(benchmark::State& state) {
+    const Problem problem = scale_problem(1000, 16, 3, 1);
+    ExploreOptions options;
+    options.dse.search.max_iterations = 5;
+    options.dse.search.restarts = 1;
+    options.dse.num_threads = static_cast<std::size_t>(state.range(0));
+    DseResult last;
+    for (auto _ : state) {
+        last = explore(problem, options);
+        benchmark::DoNotOptimize(last);
+    }
+    state.counters["total"] = static_cast<double>(last.scalings_total);
+    state.counters["searched"] = static_cast<double>(last.scalings_searched);
+}
+BENCHMARK(bm_explore_scale_tgff)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void bm_scaling_enumeration(benchmark::State& state) {
     const auto cores = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {

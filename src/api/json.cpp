@@ -34,6 +34,7 @@ JsonValue to_json(const DseResult& result) {
     JsonValue scalings = JsonValue::object();
     scalings["total"] = result.scalings_total;
     scalings["enumerated"] = result.scalings_enumerated;
+    scalings["emitted"] = result.scalings_emitted;
     scalings["searched"] = result.scalings_searched;
     scalings["skipped_infeasible"] = result.scalings_skipped_infeasible;
     scalings["pruned"] = result.scalings_pruned;

@@ -24,4 +24,26 @@ namespace seamap {
 Problem prunable_pipeline_problem(std::size_t cores, std::size_t stages = 8,
                                   std::size_t width = 8);
 
+/// The giant-instance "--scale" family of the ROADMAP (1k/4k/10k tasks
+/// x 16/64 cores): a TGFF random graph with the paper's Section V cost
+/// distributions on a geometric `scaling_levels`-point DVS ladder
+/// (200 MHz shrinking by 0.7 per level) in the same prune-friendly
+/// regime as prunable_pipeline_problem (clock-tree-dominated power,
+/// nearly voltage-flat SER, deadline 2.5x the all-nominal T_M lower
+/// bound). The scaling space has C(cores + levels - 1, levels - 1)
+/// slots — at 16 cores x 6 levels that is 20349, past the 10^4 mark
+/// where lazy enumeration starts to pay. Deterministic in
+/// (tasks, cores, scaling_levels, seed).
+Problem scale_problem(std::size_t tasks, std::size_t cores, std::size_t scaling_levels = 3,
+                      std::uint64_t seed = 1);
+
+/// The committed 10^4-slot acceptance instance of the lazy-enumeration
+/// tentpole: the prunable pipeline workload (6 x 6 tasks — small
+/// enough to sweep exhaustively as the reference) on 16 cores x a
+/// dyadic 6-level ladder, i.e. C(21, 5) = 20349 scaling slots.
+/// tests/integration/dse_scale_test.cpp pins lazy explore() to < 50%
+/// of the materialized sweep's slots emitted, with byte-identical
+/// best/pareto_front JSON at 1/2/8 threads.
+Problem scale_acceptance_problem();
+
 } // namespace seamap

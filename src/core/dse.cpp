@@ -2,6 +2,7 @@
 
 #include "core/dse_checkpoint.h"
 #include "core/initial_mapping.h"
+#include "core/lazy_scaling_queue.h"
 #include "core/observer.h"
 #include "core/scaling_bounds.h"
 #include "core/search_strategy.h"
@@ -11,9 +12,13 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
 #include <limits>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -92,43 +97,6 @@ const LocalSearchResult* fold_min_power(const std::vector<LocalSearchResult>& st
     return best;
 }
 
-/// Incumbent (P, Gamma) staircase the branch-and-bound prunes against:
-/// kept sorted by power ascending with strictly decreasing gamma. A
-/// combination is prunable only when some incumbent beats its bounds
-/// *strictly in both objectives* — then every design it could contain
-/// is strictly dominated and can appear in neither the front nor the
-/// pick (the front filter uses <=/<, so strict-both implies removal).
-class DominanceFront {
-public:
-    void insert(double power, double gamma) {
-        // First staircase point with power >= the new one.
-        auto at = std::lower_bound(points_.begin(), points_.end(),
-                                   std::pair<double, double>{power, -1.0});
-        if (at != points_.begin() && std::prev(at)->second <= gamma)
-            return; // weakly dominated by a cheaper point
-        if (at != points_.end() && exactly_equal(at->first, power) && at->second <= gamma)
-            return; // weakly dominated at equal power
-        auto last = at;
-        while (last != points_.end() && last->second >= gamma) ++last;
-        at = points_.erase(at, last);
-        points_.insert(at, {power, gamma});
-    }
-
-    /// True when some incumbent strictly beats (power_lb, gamma_lb) in
-    /// both objectives.
-    bool dominates(const ScalingBounds& bounds) const {
-        // Last staircase point with power < power_lb carries the
-        // minimum gamma among all of them.
-        auto at = std::lower_bound(points_.begin(), points_.end(),
-                                   std::pair<double, double>{bounds.power_mw_lb, -1.0});
-        if (at == points_.begin()) return false;
-        return std::prev(at)->second < bounds.gamma_lb;
-    }
-
-private:
-    std::vector<std::pair<double, double>> points_;
-};
-
 /// The paper's step-3 selection rule — minimum power, fewer expected
 /// SEUs within the relative power tie window — applied to the sorted
 /// Pareto front. On the front the rule is a pure function of the point
@@ -146,6 +114,18 @@ std::optional<DsePoint> select_best(const std::vector<DsePoint>& front, double t
     }
     return *best;
 }
+
+/// How far the lazy producer may run ahead of the replayed prefix, in
+/// pop-order slots. The pop-time disposal decision for slot p consults
+/// the replay front of exactly the first p - k_disposal_window slots —
+/// a prefix that is fully decided by the time the producer needs it —
+/// so which slots get searches submitted (scalings_emitted) is a pure
+/// function of the problem at every thread count, while still keeping
+/// up to a window of searches in flight. Thread-count *independent* on
+/// purpose: scaling it with num_threads would make emission counts
+/// differ between runs. 64 comfortably feeds any sane worker count and
+/// keeps at most a window of per-slot case-bound lists alive at once.
+constexpr std::size_t k_disposal_window = 64;
 
 } // namespace
 
@@ -172,15 +152,22 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     CancellationToken stop(cancel);
     stop.set_budget_seconds(params.total_time_budget_seconds);
 
-    // The sequence is materialized up front so each combination has a
-    // fixed slot: workers may finish out of order, but the merge below
-    // replays prune decisions in best-first order and folds counters
-    // and feasible points in enumeration order, making the result
+    // The scaling sequence is generated *lazily*, bound-sorted, by the
+    // priority queue (core/lazy_scaling_queue.h) — the full sequence is
+    // never materialized and, with pruning on, dominated slots are
+    // disposed of at pop time before their searches are ever submitted.
+    // Each combination still owns a fixed outcome slot addressed by its
+    // enumeration rank: workers may finish out of order, but the merge
+    // below replays prune decisions in pop order and folds counters and
+    // feasible points in enumeration order, making the result
     // independent of the thread count (absent wall-clock cuts).
-    std::vector<ScalingVector> combinations;
-    ScalingEnumerator enumerator(arch.core_count(), arch.scaling_table().level_count());
-    while (auto levels = enumerator.next()) combinations.push_back(std::move(*levels));
-    std::vector<ScalingOutcome> outcomes(combinations.size());
+    const std::optional<ScalingBoundsModel> bounds_model =
+        params.prune ? std::optional<ScalingBoundsModel>(std::in_place, graph, arch,
+                                                         deadline_seconds, ser_, policy_)
+                     : std::nullopt;
+    LazyScalingQueue queue(graph, arch, deadline_seconds,
+                           bounds_model ? &*bounds_model : nullptr);
+    std::vector<ScalingOutcome> outcomes(queue.total());
 
     const std::size_t starts = std::max<std::size_t>(1, params.multi_start);
     const double tie = std::max(0.0, params.power_tie_tolerance);
@@ -194,15 +181,15 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     std::vector<DsePoint> observed_points;
     DominanceFront observed_front; // strict-dominance filter for arrivals
     std::optional<DsePoint> observed_best;
-    if (observer != nullptr) observer->on_explore_begin(combinations.size());
-    auto notify = [&](std::size_t index, ScalingProgress::Outcome outcome,
-                      const DsePoint* point) {
+    if (observer != nullptr) observer->on_explore_begin(queue.total());
+    auto notify = [&](std::uint64_t rank, const ScalingVector& levels,
+                      ScalingProgress::Outcome outcome, const DsePoint* point) {
         if (observer == nullptr) return;
         std::lock_guard lock(observer_mutex);
         ScalingProgress progress;
-        progress.index = index;
-        progress.total = combinations.size();
-        progress.levels = combinations[index];
+        progress.index = rank;
+        progress.total = queue.total();
+        progress.levels = levels;
         progress.outcome = outcome;
         if (point != nullptr) progress.metrics = point->metrics;
         observer->on_scaling_done(progress);
@@ -230,160 +217,175 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         }
     };
 
-    // --- plan: gate, bounds, best-first order -------------------------
-    // Per-combination T_M lower bounds gate hopeless scalings exactly
-    // as before; survivors get sound (power, Gamma) lower bounds and
-    // run best-first by power bound so strong incumbents arrive early.
+    // --- shared branch-and-bound state --------------------------------
+    // One slot per gate-passing pop, in pop order (std::deque: grows
+    // under the lock while workers hold references to earlier slots).
     struct SearchSlot {
-        std::size_t combo = 0; ///< enumeration index
+        std::uint64_t rank = 0; ///< enumeration index
+        ScalingVector levels;
         /// One bound pair per admissible powered-core case; the slot
         /// is prunable only when every case is strictly dominated.
+        /// Freed as soon as the replay decides the slot, so only a
+        /// window of case lists is ever alive.
         std::vector<ScalingBounds> cases;
-        /// Pointwise-minimum corner, for best-first ordering.
-        ScalingBounds bounds;
         std::vector<LocalSearchResult> start_results;
         std::vector<unsigned char> start_ran; ///< 1 = searched or prune-skipped
+        /// Resume: the checkpointed replay decision for this slot.
+        const DseSlotRecord* record = nullptr;
+        bool disposed = false; ///< dropped at pop time (lagged front)
         bool runtime_pruned = false;
+        bool completed = false;
         std::size_t starts_done = 0;
     };
-    std::vector<SearchSlot> slots;
-    if (!stop.stop_requested()) {
-        // Bounds exist to prune; the exhaustive mode skips their
-        // (per-combination exponential powered-subset) computation
-        // entirely and just runs slots in enumeration order — the
-        // deterministic merge makes ordering unobservable.
-        const std::optional<ScalingBoundsModel> bounds_model =
-            params.prune ? std::optional<ScalingBoundsModel>(std::in_place, graph, arch,
-                                                             deadline_seconds, ser_, policy_)
-                         : std::nullopt;
-        for (std::size_t index = 0; index < combinations.size(); ++index) {
-            if (stop.stop_requested()) break; // remaining slots stay not_run
-            if (tm_lower_bound_seconds(graph, arch, combinations[index]) >
-                deadline_seconds * (1.0 + 1e-9)) {
-                // Gate skips are free: record and stream them right
-                // here, ahead of any search.
-                outcomes[index].status = ScalingOutcome::Status::skipped_infeasible;
-                notify(index, ScalingProgress::Outcome::skipped_infeasible, nullptr);
-                continue;
-            }
-            SearchSlot slot;
-            slot.combo = index;
-            if (bounds_model) {
-                slot.cases = bounds_model->case_bounds_for(combinations[index]);
-                slot.bounds = ScalingBoundsModel::corner_of(slot.cases);
-            }
-            slot.start_results.resize(starts);
-            slot.start_ran.assign(starts, 0);
-            slots.push_back(std::move(slot));
-        }
-        std::sort(slots.begin(), slots.end(), [](const SearchSlot& a, const SearchSlot& b) {
-            if (!exactly_equal(a.bounds.power_mw_lb, b.bounds.power_mw_lb))
-                return a.bounds.power_mw_lb < b.bounds.power_mw_lb;
-            return a.combo < b.combo;
-        });
-    }
-
-    // --- run ----------------------------------------------------------
-    // Shared branch-and-bound state: the incumbent front holds the
-    // folded design of every *decided* slot (the contiguous completed
-    // prefix of the best-first order), so a worker's prune decision
-    // only ever uses information from slots strictly earlier in that
-    // order — a subset of what the deterministic merge replay knows,
-    // which is what keeps worker pruning a subset of replay pruning.
+    std::deque<SearchSlot> slots;
     std::mutex bb_mutex;
-    DominanceFront incumbent_front;
+    std::condition_variable replay_cv; ///< signals `replayed` advances
+    // The incremental sequential replay: decides slots[0..replayed) in
+    // pop order exactly as the end-of-run merge used to, maintaining
+    // the front of surviving folded designs. Workers consult it for
+    // opportunistic pruning (their view is a prefix of what the full
+    // replay will know, so worker pruning stays a subset of replay
+    // pruning) and the checkpoint records are its decisions verbatim.
+    DominanceFront replay_front;
+    std::size_t replayed = 0;
+    // The *lagged* copy the producer's deterministic disposal uses:
+    // advanced to exactly the prefix the window rule calls for, never
+    // further, so disposal decisions are timing-independent.
+    DominanceFront disposal_front;
+    std::size_t disposal_advanced = 0;
+    bool recording_stopped = false;
+    bool bounds_unsound = false;
+    std::exception_ptr search_error;
+    std::uint64_t emitted = 0;
+
     // A slot is prunable when every powered-core case is strictly
     // dominated by some incumbent (different cases may fall to
     // different incumbents); an empty case list means the capacity
     // pre-filter could not even place the work — left to the search.
-    auto front_prunes = [](const DominanceFront& front, const SearchSlot& slot) {
-        if (slot.cases.empty()) return false;
-        return std::all_of(slot.cases.begin(), slot.cases.end(),
-                           [&](const ScalingBounds& bounds) {
-                               return front.dominates(bounds);
-                           });
+    auto front_prunes = [](const DominanceFront& front,
+                           const std::vector<ScalingBounds>& cases) {
+        if (cases.empty()) return false;
+        return std::all_of(cases.begin(), cases.end(), [&](const ScalingBounds& bounds) {
+            return front.dominates(bounds);
+        });
     };
-    std::vector<unsigned char> slot_completed(slots.size(), 0);
-    std::size_t decided = 0;
 
-    // --- resume: preload the checkpointed decided prefix --------------
-    // Each record is the *replay* outcome of one best-first slot, and
-    // replay decisions depend only on earlier slots — so restoring the
-    // prefix as already-completed slots (with synthetic start results
-    // that fold back to the stored designs) reproduces the
-    // uninterrupted run byte-for-byte. The recording state below
-    // (recorded / record_front) re-runs the same replay incrementally
-    // over newly decided slots so snapshots always stay replay-faithful.
-    std::size_t recorded = 0;
-    DominanceFront record_front;
     const DseResumeState* resume =
         checkpoint != nullptr ? checkpoint->resume_state() : nullptr;
-    if (resume != nullptr && !stop.stop_requested()) {
-        const std::vector<DseSlotRecord>& records = resume->records;
-        if (records.size() > slots.size())
-            throw Error(ErrorCategory::checkpoint_mismatch,
-                        "checkpoint holds " + std::to_string(records.size()) +
-                            " decided slots but this exploration planned only " +
-                            std::to_string(slots.size()),
-                        checkpoint->path());
-        for (std::size_t i = 0; i < records.size(); ++i) {
-            const DseSlotRecord& record = records[i];
-            SearchSlot& slot = slots[i];
-            if (record.combo != slot.combo)
-                throw Error(ErrorCategory::checkpoint_mismatch,
-                            "checkpoint slot order diverges at decided slot " +
-                                std::to_string(i) + " (stored combination " +
-                                std::to_string(record.combo) + ", planned " +
-                                std::to_string(slot.combo) + ")",
-                            checkpoint->path());
-            slot.start_ran.assign(starts, 1);
-            slot.starts_done = starts;
-            slot_completed[i] = 1;
-            switch (record.kind) {
-            case DseSlotRecord::Kind::pruned:
-                slot.runtime_pruned = true;
-                break;
-            case DseSlotRecord::Kind::no_design:
-                // All-default start results already fold to "searched,
-                // nothing feasible".
-                break;
-            case DseSlotRecord::Kind::feasible: {
-                // Start 0 carries the stored folded design; the other
-                // starts stay at found_feasible = false, so both folds
-                // (fold_starts / fold_min_power) return the stored pick.
-                LocalSearchResult& r0 = slot.start_results[0];
-                r0.found_feasible = true;
-                r0.best_mapping = record.point.mapping;
-                r0.best_metrics = record.point.metrics;
-                if (record.has_min_power) {
-                    r0.min_power_found = true;
-                    r0.min_power_mapping = record.min_power_point.mapping;
-                    r0.min_power_metrics = record.min_power_point.metrics;
+    const std::vector<DseSlotRecord>* records = resume != nullptr ? &resume->records : nullptr;
+    std::size_t next_record = 0;
+
+    // Advance the replay over the contiguous completed prefix. Called
+    // with bb_mutex held. Mirrors the old end-of-run merge exactly: a
+    // stop-cut slot stays not_run (and ends the recordable prefix —
+    // nothing after it is replay-stable in a snapshot) but later slots
+    // are still decided against the front without it.
+    auto advance_replay = [&] {
+        const bool advanced = replayed < slots.size() && slots[replayed].completed;
+        while (replayed < slots.size() && slots[replayed].completed) {
+            SearchSlot& slot = slots[replayed];
+            ScalingOutcome& outcome = outcomes[slot.rank];
+            if (slot.record != nullptr) {
+                // Restored decision: replay it from the snapshot.
+                const DseSlotRecord& record = *slot.record;
+                switch (record.kind) {
+                case DseSlotRecord::Kind::pruned:
+                    outcome.status = ScalingOutcome::Status::pruned;
+                    break;
+                case DseSlotRecord::Kind::no_design:
+                    outcome.status = ScalingOutcome::Status::searched_no_design;
+                    break;
+                case DseSlotRecord::Kind::feasible:
+                    outcome.status = ScalingOutcome::Status::feasible;
+                    outcome.point.levels = slot.levels;
+                    outcome.point.mapping = record.point.mapping;
+                    outcome.point.metrics = record.point.metrics;
+                    if (record.has_min_power) {
+                        outcome.min_power_point.levels = slot.levels;
+                        outcome.min_power_point.mapping = record.min_power_point.mapping;
+                        outcome.min_power_point.metrics = record.min_power_point.metrics;
+                        outcome.has_min_power = true;
+                    }
+                    replay_front.insert(record.point.metrics.power_mw,
+                                        record.point.metrics.gamma);
+                    break;
                 }
-                record_front.insert(record.point.metrics.power_mw,
-                                    record.point.metrics.gamma);
-                break;
+            } else {
+                const bool fully_ran =
+                    !slot.start_ran.empty() &&
+                    std::all_of(slot.start_ran.begin(), slot.start_ran.end(),
+                                [](unsigned char ran) { return ran == 1; });
+                DseSlotRecord record;
+                record.combo = slot.rank;
+                bool recordable = false;
+                if (slot.disposed ||
+                    (params.prune && front_prunes(replay_front, slot.cases))) {
+                    // A disposed slot's replay front is a superset of
+                    // the lagged front that disposed it, so the replay
+                    // verdict is already known (dominance is monotone).
+                    outcome.status = ScalingOutcome::Status::pruned;
+                    record.kind = DseSlotRecord::Kind::pruned;
+                    recordable = true;
+                } else if (!fully_ran) {
+                    // Stop cut this slot: stays not_run.
+                    recording_stopped = true;
+                } else if (slot.runtime_pruned) {
+                    // Worker pruned a slot the replay keeps: the bounds
+                    // are unsound. Surfaced after the pool drains.
+                    bounds_unsound = true;
+                    recording_stopped = true;
+                } else {
+                    const LocalSearchResult& folded = fold_starts(slot.start_results);
+                    if (folded.found_feasible) {
+                        outcome.status = ScalingOutcome::Status::feasible;
+                        outcome.point.levels = slot.levels;
+                        outcome.point.mapping = folded.best_mapping;
+                        outcome.point.metrics = folded.best_metrics;
+                        record.kind = DseSlotRecord::Kind::feasible;
+                        record.point = outcome.point;
+                        if (const LocalSearchResult* cheapest =
+                                fold_min_power(slot.start_results)) {
+                            outcome.min_power_point.levels = slot.levels;
+                            outcome.min_power_point.mapping = cheapest->min_power_mapping;
+                            outcome.min_power_point.metrics = cheapest->min_power_metrics;
+                            outcome.has_min_power = true;
+                            record.min_power_point = outcome.min_power_point;
+                            record.has_min_power = true;
+                        }
+                        replay_front.insert(folded.best_metrics.power_mw,
+                                            folded.best_metrics.gamma);
+                    } else {
+                        outcome.status = ScalingOutcome::Status::searched_no_design;
+                        record.kind = DseSlotRecord::Kind::no_design;
+                    }
+                    recordable = true;
+                }
+                if (checkpoint != nullptr && recordable && !recording_stopped)
+                    checkpoint->record(record);
             }
-            }
+            // The replay is this slot's last reader: drop the bound
+            // cases and search results, keep the cheap outcome.
+            slot.cases = {};
+            slot.start_results = {};
+            ++replayed;
         }
-        recorded = records.size();
-        // Advance the decided prefix over the restored slots, seeding
-        // the incumbent front exactly as live completion would have.
-        while (decided < slots.size() && slot_completed[decided]) {
-            const SearchSlot& done = slots[decided];
-            if (!done.runtime_pruned) {
-                const LocalSearchResult& folded = fold_starts(done.start_results);
-                if (folded.found_feasible)
-                    incumbent_front.insert(folded.best_metrics.power_mw,
-                                           folded.best_metrics.gamma);
-            }
-            ++decided;
+        if (advanced) replay_cv.notify_all();
+    };
+
+    // Advance the disposal front to exactly `prefix` decided slots
+    // (never further). Called with bb_mutex held, prefix <= replayed.
+    auto advance_disposal_to = [&](std::size_t prefix) {
+        while (disposal_advanced < prefix) {
+            const ScalingOutcome& outcome = outcomes[slots[disposal_advanced].rank];
+            if (outcome.status == ScalingOutcome::Status::feasible)
+                disposal_front.insert(outcome.point.metrics.power_mw,
+                                      outcome.point.metrics.gamma);
+            ++disposal_advanced;
         }
-    }
+    };
 
     auto run_start = [&](std::size_t pos, std::size_t start_index) {
         SearchSlot& slot = slots[pos];
-        const std::size_t index = slot.combo;
         bool searched = false;
         if (!stop.stop_requested()) {
             bool do_search = true;
@@ -391,35 +393,48 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                 std::lock_guard lock(bb_mutex);
                 if (slot.runtime_pruned) {
                     do_search = false;
-                } else if (front_prunes(incumbent_front, slot)) {
+                } else if (front_prunes(replay_front, slot.cases)) {
                     slot.runtime_pruned = true;
                     do_search = false;
                 }
             }
             if (do_search) {
-                const ScalingVector& levels = combinations[index];
-                EvaluationContext ctx{graph, arch, levels, SeuEstimator(ser_, policy_),
-                                      deadline_seconds};
-                // The reusable per-start evaluation engine this
-                // worker's search runs on: preallocated scratch,
-                // incremental rescheduling and the memo table all live
-                // here, private to this worker, so thread-count
-                // invariance is untouched.
-                EvalContext eval(ctx, params.eval);
-                Mapping initial = params.use_initial_sea_mapping
-                                      ? initial_sea_mapping(ctx)
-                                      : round_robin_mapping(graph, arch.core_count());
-                // Vary the search seed per scaling so repeated scalings
-                // do not replay the same random walk; start 0 keeps the
-                // historic derivation so multi_start == 1 is unchanged.
-                std::uint64_t level_hash = 0xcbf29ce484222325ULL;
-                for (ScalingLevel level : levels) level_hash = splitmix64(level_hash ^ level);
-                std::uint64_t seed = splitmix64(params.search.seed ^ level_hash);
-                if (start_index > 0)
-                    seed = splitmix64(seed + 0x9e3779b97f4a7c15ULL * start_index);
-                slot.start_results[start_index] =
-                    strategy.search(eval, initial, seed, &stop);
-                searched = true;
+                try {
+                    const ScalingVector& levels = slot.levels;
+                    EvaluationContext ctx{graph, arch, levels, SeuEstimator(ser_, policy_),
+                                          deadline_seconds};
+                    // The reusable per-start evaluation engine this
+                    // worker's search runs on: preallocated scratch,
+                    // incremental rescheduling and the memo table all
+                    // live here, private to this worker, so
+                    // thread-count invariance is untouched.
+                    EvalContext eval(ctx, params.eval);
+                    Mapping initial = params.use_initial_sea_mapping
+                                          ? initial_sea_mapping(ctx)
+                                          : round_robin_mapping(graph, arch.core_count());
+                    // Vary the search seed per scaling so repeated
+                    // scalings do not replay the same random walk;
+                    // start 0 keeps the historic derivation so
+                    // multi_start == 1 is unchanged.
+                    std::uint64_t level_hash = 0xcbf29ce484222325ULL;
+                    for (ScalingLevel level : levels)
+                        level_hash = splitmix64(level_hash ^ level);
+                    std::uint64_t seed = splitmix64(params.search.seed ^ level_hash);
+                    if (start_index > 0)
+                        seed = splitmix64(seed + 0x9e3779b97f4a7c15ULL * start_index);
+                    slot.start_results[start_index] =
+                        strategy.search(eval, initial, seed, &stop);
+                    searched = true;
+                } catch (...) {
+                    // A throwing strategy must not strand the producer
+                    // waiting on completions that will never come:
+                    // capture the first error, stop the exploration
+                    // cooperatively, and let the slot finish as
+                    // not_run. Rethrown once the pool drains.
+                    std::lock_guard lock(bb_mutex);
+                    if (search_error == nullptr) search_error = std::current_exception();
+                    stop.request_stop();
+                }
             }
             // A stop landing while the search ran may have cut it short,
             // leaving a partial (non-replay-faithful) result: discard it
@@ -430,8 +445,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         }
 
         // Completion bookkeeping: the last start of a slot decides its
-        // live outcome, advances the decided prefix and folds surviving
-        // designs into the incumbent front.
+        // live outcome and extends the sequential replay.
         ScalingProgress::Outcome live_outcome = ScalingProgress::Outcome::pruned;
         const DsePoint* live_point = nullptr;
         DsePoint folded_point;
@@ -439,7 +453,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         {
             std::lock_guard lock(bb_mutex);
             if (++slot.starts_done < starts) return;
-            slot_completed[pos] = 1;
+            slot.completed = true;
             const bool fully_ran =
                 std::all_of(slot.start_ran.begin(), slot.start_ran.end(),
                             [](unsigned char ran) { return ran == 1; });
@@ -448,7 +462,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                 if (!slot.runtime_pruned) {
                     const LocalSearchResult& folded = fold_starts(slot.start_results);
                     if (folded.found_feasible) {
-                        folded_point.levels = combinations[index];
+                        folded_point.levels = slot.levels;
                         folded_point.mapping = folded.best_mapping;
                         folded_point.metrics = folded.best_metrics;
                         live_outcome = ScalingProgress::Outcome::feasible;
@@ -458,127 +472,127 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                     }
                 }
             }
-            while (decided < slots.size() && slot_completed[decided]) {
-                const SearchSlot& done = slots[decided];
-                const bool done_ran =
-                    std::all_of(done.start_ran.begin(), done.start_ran.end(),
-                                [](unsigned char ran) { return ran == 1; });
-                if (done_ran && !done.runtime_pruned) {
-                    const LocalSearchResult& folded = fold_starts(done.start_results);
-                    if (folded.found_feasible)
-                        incumbent_front.insert(folded.best_metrics.power_mw,
-                                               folded.best_metrics.gamma);
-                }
-                ++decided;
-            }
-            // Checkpoint recording: extend the replay over newly decided
-            // fully-ran slots. A stop-skipped slot ends the recordable
-            // prefix (nothing after it is replay-stable); a worker-pruned
-            // slot the replay keeps is the same unsound-bounds condition
-            // the merge's tripwire throws on — stop recording and let it.
-            while (checkpoint != nullptr && recorded < slots.size() &&
-                   slot_completed[recorded]) {
-                SearchSlot& done = slots[recorded];
-                const bool done_ran =
-                    std::all_of(done.start_ran.begin(), done.start_ran.end(),
-                                [](unsigned char ran) { return ran == 1; });
-                if (!done_ran) break;
-                DseSlotRecord record;
-                record.combo = done.combo;
-                if (params.prune && front_prunes(record_front, done)) {
-                    record.kind = DseSlotRecord::Kind::pruned;
-                } else {
-                    if (done.runtime_pruned) break;
-                    const LocalSearchResult& folded = fold_starts(done.start_results);
-                    if (folded.found_feasible) {
-                        record.kind = DseSlotRecord::Kind::feasible;
-                        record.point.levels = combinations[done.combo];
-                        record.point.mapping = folded.best_mapping;
-                        record.point.metrics = folded.best_metrics;
-                        if (const LocalSearchResult* cheapest =
-                                fold_min_power(done.start_results)) {
-                            record.min_power_point.levels = combinations[done.combo];
-                            record.min_power_point.mapping = cheapest->min_power_mapping;
-                            record.min_power_point.metrics = cheapest->min_power_metrics;
-                            record.has_min_power = true;
-                        }
-                        record_front.insert(folded.best_metrics.power_mw,
-                                            folded.best_metrics.gamma);
-                    } else {
-                        record.kind = DseSlotRecord::Kind::no_design;
-                    }
-                }
-                checkpoint->record(record);
-                ++recorded;
-            }
+            advance_replay();
         }
-        if (completed_now) notify(index, live_outcome, live_point);
+        if (completed_now) notify(slot.rank, slot.levels, live_outcome, live_point);
         if (checkpoint != nullptr) checkpoint->maybe_flush();
     };
 
-    // Restored slots are complete already: only the remainder runs.
-    const std::size_t first_live = recorded;
-    if (first_live < slots.size()) {
-        ThreadPool pool(std::min(ThreadPool::resolve_thread_count(params.num_threads),
-                                 (slots.size() - first_live) * starts));
-        // Searches run best-first by power bound (enumeration order
-        // when pruning is off): lower priority value wins the queue.
-        for (std::size_t pos = first_live; pos < slots.size(); ++pos)
-            for (std::size_t r = 0; r < starts; ++r)
-                pool.submit(pos, [&, pos, r] { run_start(pos, r); });
+    // --- produce + run ------------------------------------------------
+    // The producer (this thread) pops slots from the lazy queue while
+    // the pool runs searches. For each gate-passing pop it recomputes
+    // the per-case bounds, waits until the replay covers the disposal
+    // window's prefix, and either disposes of the slot (provably
+    // dominated — counted pruned, never searched) or emits it.
+    if (!stop.stop_requested()) {
+        ThreadPool pool(ThreadPool::resolve_thread_count(params.num_threads));
+        while (!stop.stop_requested()) {
+            std::optional<LazyScalingQueue::Slot> popped = queue.pop();
+            if (!popped) break;
+            const std::uint64_t rank = popped->rank;
+            if (!popped->gate_passed) {
+                // Gate skips are free: record and stream them right
+                // here, ahead of any search.
+                outcomes[rank].status = ScalingOutcome::Status::skipped_infeasible;
+                notify(rank, popped->levels, ScalingProgress::Outcome::skipped_infeasible,
+                       nullptr);
+                continue;
+            }
+            // The queue only kept the corner (storing every generated
+            // node's case list would defeat the lazy memory bound);
+            // the full per-case list is recomputed for the pop.
+            std::vector<ScalingBounds> cases;
+            if (bounds_model) cases = bounds_model->case_bounds_for(popped->levels);
+
+            bool disposed = false;
+            bool emitted_now = false;
+            std::size_t pos = 0;
+            {
+                std::unique_lock lock(bb_mutex);
+                pos = slots.size();
+                const std::size_t need =
+                    pos > k_disposal_window ? pos - k_disposal_window : 0;
+                replay_cv.wait(lock,
+                               [&] { return replayed >= need || stop.stop_requested(); });
+                if (stop.stop_requested()) break;
+                advance_disposal_to(need);
+                if (params.prune) disposed = front_prunes(disposal_front, cases);
+                if (!disposed) {
+                    ++emitted;
+                    emitted_now = true;
+                }
+                const DseSlotRecord* record = nullptr;
+                if (records != nullptr && next_record < records->size()) {
+                    record = &(*records)[next_record];
+                    if (record->combo != rank)
+                        throw Error(ErrorCategory::checkpoint_mismatch,
+                                    "checkpoint slot order diverges at decided slot " +
+                                        std::to_string(next_record) +
+                                        " (stored combination " +
+                                        std::to_string(record->combo) + ", produced " +
+                                        std::to_string(rank) + ")",
+                                    checkpoint->path());
+                    ++next_record;
+                }
+                slots.emplace_back();
+                SearchSlot& slot = slots.back();
+                slot.rank = rank;
+                slot.levels = std::move(popped->levels);
+                if (record != nullptr) {
+                    // Restored: the snapshot already holds this slot's
+                    // replay decision; nothing runs.
+                    slot.record = record;
+                    slot.completed = true;
+                    advance_replay();
+                    continue;
+                }
+                slot.cases = std::move(cases);
+                if (disposed) {
+                    slot.disposed = true;
+                    slot.completed = true;
+                    advance_replay();
+                } else {
+                    slot.start_results.resize(starts);
+                    slot.start_ran.assign(starts, 0);
+                }
+            }
+            if (disposed) {
+                notify(rank, slots[pos].levels, ScalingProgress::Outcome::pruned, nullptr);
+                if (checkpoint != nullptr) checkpoint->maybe_flush();
+                continue;
+            }
+            if (emitted_now)
+                for (std::size_t r = 0; r < starts; ++r)
+                    pool.submit(pos, [&, pos, r] { run_start(pos, r); });
+        }
         pool.wait_idle();
+    }
+    {
+        // Quiescent now: every created slot is completed (the pool ran
+        // all submitted starts), so this sweeps the replay to the end.
+        std::lock_guard lock(bb_mutex);
+        advance_replay();
+        if (search_error != nullptr) std::rethrow_exception(search_error);
     }
     // Persist whatever the run decided — on a stop this is the snapshot
     // a resume continues from; on completion it doubles as a memoized
     // result (a resume replays it without searching).
     if (checkpoint != nullptr) checkpoint->flush();
-
-    // --- merge: deterministic branch-and-bound replay -----------------
-    // Replays the prune decisions sequentially in best-first order from
-    // the recorded outcomes: a slot is pruned iff its bounds are
-    // strictly dominated by the folded design of an earlier surviving
-    // slot. Worker-side pruning is always a subset of this (a worker
-    // only ever consulted earlier survivors), so every replay-surviving
-    // slot has real search results; searches the replay prunes are
-    // discarded as speculative. The outcome is a pure function of the
-    // problem — identical for every thread count.
-    DominanceFront replay_front;
-    for (SearchSlot& slot : slots) {
-        ScalingOutcome& outcome = outcomes[slot.combo];
-        const bool fully_ran =
-            !slot.start_ran.empty() &&
-            std::all_of(slot.start_ran.begin(), slot.start_ran.end(),
-                        [](unsigned char ran) { return ran == 1; });
-        if (!fully_ran) continue; // stop cut this slot: stays not_run
-        if (params.prune && front_prunes(replay_front, slot)) {
-            outcome.status = ScalingOutcome::Status::pruned;
-            continue;
-        }
-        if (slot.runtime_pruned)
-            throw std::logic_error(
-                "DesignSpaceExplorer: worker pruned a slot the deterministic replay "
-                "keeps — scaling bounds are unsound");
-        const LocalSearchResult& folded = fold_starts(slot.start_results);
-        if (!folded.found_feasible) {
-            outcome.status = ScalingOutcome::Status::searched_no_design;
-            continue;
-        }
-        outcome.status = ScalingOutcome::Status::feasible;
-        outcome.point.levels = combinations[slot.combo];
-        outcome.point.mapping = folded.best_mapping;
-        outcome.point.metrics = folded.best_metrics;
-        if (const LocalSearchResult* cheapest = fold_min_power(slot.start_results)) {
-            outcome.min_power_point.levels = combinations[slot.combo];
-            outcome.min_power_point.mapping = cheapest->min_power_mapping;
-            outcome.min_power_point.metrics = cheapest->min_power_metrics;
-            outcome.has_min_power = true;
-        }
-        replay_front.insert(folded.best_metrics.power_mw, folded.best_metrics.gamma);
-    }
+    if (bounds_unsound)
+        throw std::logic_error(
+            "DesignSpaceExplorer: worker pruned a slot the deterministic replay "
+            "keeps — scaling bounds are unsound");
+    if (records != nullptr && next_record < records->size() && !stop.stop_requested())
+        throw Error(ErrorCategory::checkpoint_mismatch,
+                    "checkpoint holds " + std::to_string(records->size()) +
+                        " decided slots but this exploration produced only " +
+                        std::to_string(next_record),
+                    checkpoint->path());
 
     // Deterministic fold in enumeration order.
     DseResult result;
-    result.scalings_total = combinations.size();
+    result.scalings_total = queue.total();
+    result.scalings_emitted = emitted;
     for (ScalingOutcome& outcome : outcomes) {
         switch (outcome.status) {
         case ScalingOutcome::Status::not_run:

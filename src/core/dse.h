@@ -3,17 +3,18 @@
 // (soft error-aware task mapping, step 2) under a real-time constraint,
 // with iterative assessment (step 3).
 //
-// Scaling combinations are enumerated with nextScaling (Fig. 5);
-// combinations whose execution-time lower bound already misses the
-// deadline are skipped. The surviving combinations run as a bound-
-// driven branch-and-bound instead of a flat sweep: each gets sound
-// power/Gamma lower bounds (core/scaling_bounds.h), work is ordered
-// best-first by power bound so good incumbents arrive early, and a
-// shared incumbent front lets workers skip combinations whose entire
-// mapping space is provably dominated. For every combination that
-// survives, the two-stage mapper (InitialSEAMapping + OptimizedMapping)
-// minimizes the expected SEUs; the explorer records each feasible
-// design's (P, Gamma) and finally reports
+// Scaling combinations are generated *lazily*, bound-sorted, by
+// core/lazy_scaling_queue.h — the full Fig. 5 sequence is never
+// materialized. Combinations whose execution-time lower bound already
+// misses the deadline are skipped at pop time. The survivors run as a
+// bound-driven branch-and-bound: each gets sound power/Gamma lower
+// bounds (core/scaling_bounds.h), pops arrive in ascending power-bound
+// order so good incumbents arrive early, and dominated combinations
+// are *disposed of* before their searches are ever submitted (plus a
+// worker-side skip for slots already in flight). For every combination
+// that survives, the two-stage mapper (InitialSEAMapping +
+// OptimizedMapping) minimizes the expected SEUs; the explorer records
+// each feasible design's (P, Gamma) and finally reports
 //   - the paper's pick: minimum power, ties broken by fewer SEUs
 //     (applied to the Pareto front, where it is independent of
 //     evaluation order and of pruning), and
@@ -23,13 +24,14 @@
 // evaluated design beats its *lower bounds* strictly in both power and
 // Gamma — every design it could contain is then strictly dominated, so
 // `best` and `pareto_front` are bit-identical to the exhaustive run.
-// Determinism: the final merge *replays* the prune decisions
-// sequentially in best-first order from the recorded outcomes, so
-// which combinations count as pruned (and therefore feasible_points
+// Determinism: a sequential replay decides every slot in pop order
+// (itself a pure function of the problem) from the recorded outcomes,
+// so which combinations count as pruned (and therefore feasible_points
 // and every counter) is a pure function of the problem — identical at
-// every thread count; worker-side pruning against the shared incumbent
-// front is only ever a subset of that replay (a search the replay
-// prunes is discarded as speculative).
+// every thread count. Pop-time disposal consults the replay front at a
+// fixed lag (never the racing live front), and worker-side pruning
+// against the replay front is only ever a subset of the full replay's
+// (a search the replay prunes is discarded as speculative).
 #pragma once
 
 #include "arch/mpsoc.h"
@@ -136,6 +138,14 @@ struct DseResult {
     /// enumerated/total is the completed fraction.
     std::uint64_t scalings_enumerated = 0;
     std::uint64_t scalings_skipped_infeasible = 0;
+    /// Gate-passing combinations whose mapping searches were actually
+    /// submitted — i.e. not disposed of at pop time by the lazy
+    /// enumeration's dominance check. Deterministic at every thread
+    /// count; `scalings_searched <= scalings_emitted`, and the gap to
+    /// `scalings_searched + scalings_pruned` is the work the lazy
+    /// enumeration saved outright. Without pruning every gate passer
+    /// is emitted.
+    std::uint64_t scalings_emitted = 0;
     /// Combinations whose whole mapping space was provably dominated
     /// by an already-found design (DseParams::prune); their searches
     /// were skipped (or discarded as speculative). Deterministic for

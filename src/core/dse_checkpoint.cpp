@@ -147,7 +147,10 @@ std::uint64_t dse_state_hash(const TaskGraph& graph, const MpsocArchitecture& ar
                              const SerModel& ser, ExposurePolicy policy,
                              std::string_view strategy_name) {
     HashStream h;
-    h.mix("seamap-dse-state");
+    // v2: the lazy bound-sorted enumeration (core/lazy_scaling_queue.h)
+    // changed the slot pop order, so v1 snapshots do not replay; the
+    // salt makes them fail the state-hash check cleanly.
+    h.mix("seamap-dse-state-v2");
 
     // Application: name, batching, register inventory, tasks, edges.
     h.mix(graph.name());

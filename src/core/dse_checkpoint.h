@@ -2,7 +2,7 @@
 // (core/dse.h), built on the generic snapshot layer (util/checkpoint.h).
 //
 // What is persisted — and why it is exactly resumable: the explorer's
-// merge replays prune decisions sequentially in best-first slot order,
+// merge replays prune decisions sequentially in slot pop order,
 // and each slot's replay decision depends only on the folded outcomes
 // of *earlier* slots. The contiguous prefix of decided slots is
 // therefore replay-stable: record each prefix slot's replay outcome
@@ -37,7 +37,7 @@
 
 namespace seamap {
 
-/// Replay outcome of one decided slot, in best-first slot order.
+/// Replay outcome of one decided slot, in slot pop order.
 struct DseSlotRecord {
     enum class Kind : unsigned char {
         pruned,    ///< bounds strictly dominated by an earlier survivor
@@ -53,7 +53,7 @@ struct DseSlotRecord {
     bool has_min_power = false;
 };
 
-/// Parsed resume state: the decided prefix in best-first slot order.
+/// Parsed resume state: the decided prefix in slot pop order.
 struct DseResumeState {
     std::vector<DseSlotRecord> records;
     /// True when the primary snapshot was corrupt and ".prev" supplied
@@ -103,7 +103,7 @@ public:
     /// The decoded prefix from a successful load(); nullptr otherwise.
     const DseResumeState* resume_state() const { return resume_ ? &*resume_ : nullptr; }
 
-    /// Append one decided slot (strict best-first prefix order).
+    /// Append one decided slot (strict pop-order prefix).
     void record(const DseSlotRecord& record);
 
     /// Persist when the cadence is due and new records exist.

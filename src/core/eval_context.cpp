@@ -1,6 +1,7 @@
 #include "core/eval_context.h"
 
 #include "sched/list_scheduler.h"
+#include "taskgraph/register_file.h"
 
 #include <algorithm>
 #include <stdexcept>
@@ -90,6 +91,21 @@ EvalContext::EvalContext(const EvaluationContext& ctx, EvalOptions options)
     }
 
     const std::size_t universe = ctx_.graph.register_file().size();
+    words_ = (universe + 63) / 64;
+    // SoA register state: every task's register set flattened into one
+    // fixed-width row of the arena (tasks whose backing sets are
+    // shorter — default-constructed empties — zero-fill), plus the
+    // per-register width table the weighted popcount reads.
+    task_reg_words_.assign(n_ * words_, 0);
+    for (TaskId t = 0; t < n_; ++t) {
+        const RegisterSet& regs = ctx_.graph.task(t).registers;
+        std::copy_n(regs.words(), std::min(regs.word_count(), words_),
+                    task_reg_words_.begin() + static_cast<std::ptrdiff_t>(t * words_));
+    }
+    reg_bits_.resize(universe);
+    for (RegisterId r = 0; r < universe; ++r)
+        reg_bits_[r] = ctx_.graph.register_file().bits(r);
+
     data_ready_.resize(n_);
     core_free_.resize(cores_);
     finish_.resize(n_);
@@ -98,8 +114,8 @@ EvalContext::EvalContext(const EvaluationContext& ctx, EvalOptions options)
     utilization_.resize(cores_);
     register_bits_.resize(cores_);
     busy_delta_.resize(cores_);
-    union_scratch_.assign(cores_, RegisterSet(universe));
-    set_scratch_ = RegisterSet(universe);
+    union_words_.resize(cores_ * words_);
+    scratch_words_.resize(words_);
     key_scratch_.resize(n_);
 
     base_finish_.resize(n_);
@@ -107,8 +123,9 @@ EvalContext::EvalContext(const EvaluationContext& ctx, EvalOptions options)
     base_core_free_at_.resize(n_ * cores_);
     base_busy_.resize(cores_);
     base_bits_.resize(cores_);
-    base_union_.assign(cores_, RegisterSet(universe));
-    core_tasks_.resize(cores_);
+    core_task_offsets_.resize(cores_ + 1);
+    core_task_cursor_.resize(cores_);
+    core_task_ids_.resize(n_);
 }
 // seamap-lint: pop-allow(hot-path-alloc)
 
@@ -172,25 +189,51 @@ DesignMetrics EvalContext::evaluate_full(const Mapping& mapping, bool record) {
         }
     }
 
-    // Per-core register unions, eq. (8).
-    for (std::size_t c = 0; c < cores_; ++c) union_scratch_[c].clear();
-    for (TaskId t = 0; t < n_; ++t) union_scratch_[core_of[t]] |= ctx_.graph.task(t).registers;
+    // Per-core register unions, eq. (8): fixed-width word rows, so the
+    // per-task OR is a contiguous word loop over the arena rows (the
+    // vectorizable SoA form of `union[core] |= task.registers`).
+    std::fill(union_words_.begin(), union_words_.end(), std::uint64_t{0});
+    for (TaskId t = 0; t < n_; ++t) {
+        std::uint64_t* dst = union_words_.data() + core_of[t] * words_;
+        const std::uint64_t* src = task_reg_words_.data() + t * words_;
+        for (std::size_t w = 0; w < words_; ++w) dst[w] |= src[w];
+    }
     for (std::size_t c = 0; c < cores_; ++c)
-        register_bits_[c] = union_scratch_[c].bits_in(ctx_.graph.register_file());
+        register_bits_[c] = weighted_bits(union_words_.data() + c * words_);
 
     if (record) {
         std::copy(finish_.begin(), finish_.end(), base_finish_.begin());
         std::copy(busy_.begin(), busy_.end(), base_busy_.begin());
         std::copy(register_bits_.begin(), register_bits_.end(), base_bits_.begin());
-        for (std::size_t c = 0; c < cores_; ++c) base_union_[c] = union_scratch_[c];
-        for (std::size_t c = 0; c < cores_; ++c) core_tasks_[c].clear();
-        // clear() keeps each per-core list's capacity, so these pushes
-        // stop allocating once the lists have reached their high-water
-        // mark — rebase() is the recorded (non-steady-state) pass.
-        // seamap-lint: allow(hot-path-alloc) -- capacity reused across rebases
-        for (TaskId t = 0; t < n_; ++t) core_tasks_[core_of[t]].push_back(t);
+        // Counting sort into the CSR partition (fixed-capacity arrays;
+        // iterating tasks in id order keeps each core's slice ascending,
+        // matching the per-core push_back lists this replaces).
+        std::fill(core_task_cursor_.begin(), core_task_cursor_.end(), std::size_t{0});
+        for (TaskId t = 0; t < n_; ++t) ++core_task_cursor_[core_of[t]];
+        core_task_offsets_[0] = 0;
+        for (std::size_t c = 0; c < cores_; ++c)
+            core_task_offsets_[c + 1] = core_task_offsets_[c] + core_task_cursor_[c];
+        std::copy(core_task_offsets_.begin(), core_task_offsets_.end() - 1,
+                  core_task_cursor_.begin());
+        for (TaskId t = 0; t < n_; ++t) core_task_ids_[core_task_cursor_[core_of[t]]++] = t;
     }
     return finish_metrics(latency);
+}
+
+std::uint64_t EvalContext::weighted_bits(const std::uint64_t* row) const {
+    // Weighted popcount of one union row: the eq. (8) |R| term. Integer
+    // addition commutes exactly, so the value is bit-identical to
+    // RegisterSet::bits_in whatever the traversal order.
+    std::uint64_t total = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t word = row[w];
+        while (word != 0) {
+            const auto bit = static_cast<unsigned>(__builtin_ctzll(word));
+            total += reg_bits_[w * 64 + bit];
+            word &= word - 1;
+        }
+    }
+    return total;
 }
 
 DesignMetrics EvalContext::finish_metrics(double latency) {
@@ -416,17 +459,22 @@ DesignMetrics EvalContext::evaluate_override(const Override& ov, std::size_t suf
 
     // Register unions: only the cores whose task sets changed. Unions
     // are set algebra, so recomputing the two touched cores from their
-    // base task lists gives exactly the full eq. 8 result.
+    // base task lists gives exactly the full eq. 8 result. Same SoA
+    // word-row OR as the full pass, over the CSR task slice.
     std::copy(base_bits_.begin(), base_bits_.end(), register_bits_.begin());
+    auto or_task_row = [&](TaskId t) {
+        const std::uint64_t* src = task_reg_words_.data() + t * words_;
+        for (std::size_t w = 0; w < words_; ++w) scratch_words_[w] |= src[w];
+    };
     auto recompute_core_bits = [&](CoreId c) {
-        set_scratch_.clear();
-        for (TaskId t : core_tasks_[c])
-            if (ov.core_of(base_raw, t) == c) set_scratch_ |= ctx_.graph.task(t).registers;
-        if (ov.core_a == c && base_raw[ov.a] != c)
-            set_scratch_ |= ctx_.graph.task(ov.a).registers;
-        if (two_tasks && ov.core_b == c && base_raw[ov.b] != c)
-            set_scratch_ |= ctx_.graph.task(ov.b).registers;
-        register_bits_[c] = set_scratch_.bits_in(ctx_.graph.register_file());
+        std::fill(scratch_words_.begin(), scratch_words_.end(), std::uint64_t{0});
+        for (std::size_t i = core_task_offsets_[c]; i < core_task_offsets_[c + 1]; ++i) {
+            const TaskId t = core_task_ids_[i];
+            if (ov.core_of(base_raw, t) == c) or_task_row(t);
+        }
+        if (ov.core_a == c && base_raw[ov.a] != c) or_task_row(ov.a);
+        if (two_tasks && ov.core_b == c && base_raw[ov.b] != c) or_task_row(ov.b);
+        register_bits_[c] = weighted_bits(scratch_words_.data());
     };
     recompute_core_bits(base_raw[ov.a]);
     recompute_core_bits(ov.core_a);

@@ -40,7 +40,6 @@
 
 #include "reliability/design_eval.h"
 #include "sched/mapping.h"
-#include "taskgraph/register_file.h"
 #include "taskgraph/task_graph.h"
 #include "util/rng.h"
 
@@ -178,10 +177,13 @@ private:
     const DesignMetrics* memo_find(std::uint64_t hash, const CoreId* key) const;
     void memo_insert(std::uint64_t hash, const CoreId* key, const DesignMetrics& metrics);
 
+    std::uint64_t weighted_bits(const std::uint64_t* row) const;
+
     const EvaluationContext& ctx_;
     EvalOptions options_;
     std::size_t n_ = 0;
     std::size_t cores_ = 0;
+    std::size_t words_ = 0; ///< fixed bitset width: register words per row
     double batches_ = 1.0;
 
     // Per-scaling precomputation.
@@ -191,6 +193,13 @@ private:
     std::vector<double> core_freq_;
     std::vector<double> ser_rate_;       ///< SER per bit-second at each core's Vdd
     std::vector<double> active_power_mw_;
+    /// Struct-of-arrays register state: each task's register set as a
+    /// fixed-width row of `words_` words (row-major arena, n_ rows), so
+    /// a per-core union is a contiguous `dst[w] |= src[w]` word loop
+    /// the compiler can vectorize — no pointer-chasing through
+    /// RegisterSet's per-set heap blocks.
+    std::vector<std::uint64_t> task_reg_words_; ///< [task * words_ + w]
+    std::vector<std::uint64_t> reg_bits_;       ///< register id -> width in bits
 
     // Scratch reused by every evaluation (no steady-state allocation).
     std::vector<double> data_ready_;
@@ -201,8 +210,8 @@ private:
     std::vector<double> utilization_;
     std::vector<std::uint64_t> register_bits_;
     std::vector<std::int64_t> busy_delta_;
-    std::vector<RegisterSet> union_scratch_;
-    RegisterSet set_scratch_;
+    std::vector<std::uint64_t> union_words_;   ///< [core * words_ + w]
+    std::vector<std::uint64_t> scratch_words_; ///< one row, incremental path
     std::vector<CoreId> key_scratch_;
     Mapping mapping_scratch_; ///< naive_reference candidate materialization
 
@@ -215,8 +224,13 @@ private:
     std::vector<double> base_core_free_at_; ///< position-major [pos * cores + core]
     std::vector<std::uint64_t> base_busy_;
     std::vector<std::uint64_t> base_bits_;
-    std::vector<RegisterSet> base_union_;
-    std::vector<std::vector<TaskId>> core_tasks_;
+    // Base task->core partition in CSR form (built by each rebase into
+    // fixed-capacity arrays — no per-core vectors, no steady-state
+    // growth): core c's tasks are core_task_ids_[core_task_offsets_[c]
+    // .. core_task_offsets_[c + 1]), ascending by task id.
+    std::vector<std::size_t> core_task_offsets_; ///< cores_ + 1 entries
+    std::vector<std::size_t> core_task_cursor_;  ///< counting-sort scratch
+    std::vector<TaskId> core_task_ids_;          ///< n_ entries
 
     // Memo storage.
     struct MemoEntry {

@@ -1,0 +1,185 @@
+// Bound-sorted *lazy* generation of the Fig. 5 scaling sequence for
+// the explorer (core/dse.cpp): instead of materializing all
+// C(C+L-1, L-1) combinations up front, slots are popped one at a time
+// from a priority queue keyed by the ScalingBoundsModel power lower
+// bound, expanding successors over the Fig. 5 neighbor structure
+// (decrement one level) with a visited bitmap for dedup. At 10^4+ slot
+// spaces this keeps memory proportional to the expansion frontier and
+// lets the explorer dispose of dominated slots before their (per-case
+// exponential) bound lists or searches are ever stored.
+//
+// Ordering contract. pop() returns every combination exactly once, in
+// ascending (corner power lower bound, enumeration rank) order *over
+// the generated frontier* — a pure function of the problem, identical
+// on every run. Without a bounds model every key is zero and the tie
+// rank makes pops exactly the Fig. 5 enumeration order: each
+// combination below the all-slowest root has a neighbor parent with a
+// smaller rank (incrementing the leftmost occurrence of any
+// non-maximal level value), so by induction the minimum-rank unpopped
+// combination is always already generated. With bounds the keys are
+// not monotone along successor edges (speeding one core up can lower
+// the corner — capacity admits cheaper powered-core cases), so the pop
+// order is a deterministic *approximation* of the global bound order,
+// which is all the explorer's sequential replay needs.
+//
+// The T_M feasibility gate is evaluated here from graph aggregates
+// hoisted out of the per-combination loop (the same
+// tm_lower_bound_from_aggregates formula tm_lower_bound_seconds
+// evaluates, so gate decisions are bit-identical to the materialized
+// sweep) — gate-failed slots still pop (the explorer records them as
+// skipped) and still expand, but skip the bound computation entirely.
+#pragma once
+
+#include "arch/mpsoc.h"
+#include "arch/scaling_enumerator.h"
+#include "core/scaling_bounds.h"
+#include "taskgraph/task_graph.h"
+#include "util/float_compare.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace seamap {
+
+/// Incumbent (P, Gamma) staircase the branch-and-bound prunes against:
+/// kept sorted by power ascending with strictly decreasing gamma. A
+/// combination is prunable only when some incumbent beats its bounds
+/// *strictly in both objectives* — then every design it could contain
+/// is strictly dominated and can appear in neither the front nor the
+/// pick (the front filter uses <=/<, so strict-both implies removal).
+/// Insertion of a weakly dominated point is a no-op, which makes
+/// dominance monotone as the front grows: once a bound pair is
+/// dominated it stays dominated under any later insertions.
+class DominanceFront {
+public:
+    void insert(double power, double gamma) {
+        // First staircase point with power >= the new one.
+        auto at = std::lower_bound(points_.begin(), points_.end(),
+                                   std::pair<double, double>{power, -1.0});
+        if (at != points_.begin() && std::prev(at)->second <= gamma)
+            return; // weakly dominated by a cheaper point
+        if (at != points_.end() && exactly_equal(at->first, power) && at->second <= gamma)
+            return; // weakly dominated at equal power
+        auto last = at;
+        while (last != points_.end() && last->second >= gamma) ++last;
+        at = points_.erase(at, last);
+        points_.insert(at, {power, gamma});
+    }
+
+    /// True when some incumbent strictly beats (power_lb, gamma_lb) in
+    /// both objectives.
+    bool dominates(const ScalingBounds& bounds) const {
+        // Last staircase point with power < power_lb carries the
+        // minimum gamma among all of them.
+        auto at = std::lower_bound(points_.begin(), points_.end(),
+                                   std::pair<double, double>{bounds.power_mw_lb, -1.0});
+        if (at == points_.begin()) return false;
+        return std::prev(at)->second < bounds.gamma_lb;
+    }
+
+private:
+    std::vector<std::pair<double, double>> points_;
+};
+
+/// Priority-queue generator of the Fig. 5 sequence (see file comment).
+class LazyScalingQueue {
+public:
+    /// One generated scaling combination.
+    struct Slot {
+        /// Position in the Fig. 5 enumeration order (what the
+        /// materialized sweep would have called its index).
+        std::uint64_t rank = 0;
+        ScalingVector levels;
+        /// T_M lower-bound gate verdict (false = provably misses the
+        /// deadline; the explorer records it as skipped_infeasible).
+        bool gate_passed = false;
+        /// Pointwise-minimum corner over the powered-core cases, the
+        /// pop key; zero when no bounds model was supplied or the gate
+        /// failed.
+        ScalingBounds corner;
+    };
+
+    /// `graph` and `arch` must outlive the queue; `bounds` may be null
+    /// (no keys — pops follow the exact enumeration order).
+    /// `successor_shuffle_seed` perturbs the order successors are
+    /// *pushed* (never the pop order, which the dedup + strict
+    /// (key, rank) total order make push-order invariant); nonzero
+    /// values exist for the dedup tests only.
+    LazyScalingQueue(const TaskGraph& graph, const MpsocArchitecture& arch,
+                     double deadline_seconds, const ScalingBoundsModel* bounds,
+                     std::uint64_t successor_shuffle_seed = 0);
+
+    /// Next slot in (corner power bound, rank) order, or nullopt once
+    /// every combination has been returned.
+    std::optional<Slot> pop();
+
+    /// Size of the full Fig. 5 sequence: C(C+L-1, L-1).
+    std::uint64_t total() const { return total_; }
+    /// Combinations returned by pop() so far.
+    std::uint64_t popped() const { return popped_; }
+    /// Combinations pushed into the frontier so far (>= popped).
+    std::uint64_t generated() const { return generated_; }
+
+    /// Enumeration rank of `levels` (its index in the Fig. 5 order):
+    /// counts the non-increasing tuples that sort descending-lex
+    /// before it. Exposed for tests; the queue uses a precomputed
+    /// table-driven equivalent.
+    static std::uint64_t rank_of(const ScalingVector& levels, std::size_t level_count);
+
+    /// The Fig. 5 neighbor structure the expansion walks: every cover
+    /// of `levels` in the componentwise order, i.e. the result of
+    /// decrementing the rightmost occurrence of each distinct level
+    /// value > 1 (each stays non-increasing; together they generate
+    /// the whole sequence from the all-slowest root). Appended to
+    /// `out` in ascending position order.
+    static void successors(const ScalingVector& levels, std::vector<ScalingVector>& out);
+
+private:
+    struct Node {
+        double sort_key = 0.0;
+        std::uint64_t rank = 0;
+        ScalingVector levels;
+        bool gate_passed = false;
+        ScalingBounds corner;
+    };
+    struct NodeAfter {
+        bool operator()(const Node& a, const Node& b) const {
+            if (!exactly_equal(a.sort_key, b.sort_key)) return a.sort_key > b.sort_key;
+            return a.rank > b.rank;
+        }
+    };
+
+    std::uint64_t rank_of_tabled(const ScalingVector& levels) const;
+    void generate(ScalingVector levels);
+    bool visit(std::uint64_t rank);
+
+    const TaskGraph& graph_;
+    const MpsocArchitecture& arch_;
+    double deadline_seconds_;
+    const ScalingBoundsModel* bounds_;
+    std::uint64_t shuffle_seed_;
+
+    // Graph aggregates hoisted out of the per-combination T_M gate.
+    double batches_ = 1.0;
+    double critical_path_cycles_ = 0.0;
+    double total_exec_cycles_ = 0.0;
+    double biggest_task_cycles_ = 0.0;
+
+    // Multiset-count table: counts_[m * (L + 1) + w] = number of
+    // non-increasing tuples of length m over values [1..w], the
+    // descending-lex rank increments.
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t popped_ = 0;
+    std::uint64_t generated_ = 0;
+    std::vector<std::uint64_t> visited_; ///< bitmap over ranks
+    std::priority_queue<Node, std::vector<Node>, NodeAfter> frontier_;
+    std::vector<ScalingVector> successor_scratch_;
+};
+
+} // namespace seamap

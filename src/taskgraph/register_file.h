@@ -73,6 +73,13 @@ public:
     /// eq. 8); weights come from the register file.
     std::uint64_t bits_in(const RegisterFile& file) const;
 
+    /// Raw backing words, LSB-first: register `id` is bit `id % 64` of
+    /// word `id / 64`. For flat word-array consumers (the SoA union
+    /// scratch in core/eval_context.h); word_count() may be smaller
+    /// than (universe_size + 63) / 64 for default-constructed sets.
+    const std::uint64_t* words() const { return blocks_.data(); }
+    std::size_t word_count() const { return blocks_.size(); }
+
     /// Enumerate members in ascending id order.
     template <typename Fn>
     void for_each(Fn&& fn) const {

@@ -2,9 +2,10 @@
 // (simulated annealing, TGFF graph synthesis, SEU fault injection).
 //
 // Every consumer takes an explicit 64-bit seed so experiment tables are
-// reproducible bit-for-bit. `Rng::fork` derives statistically
+// reproducible bit-for-bit. `Rng::fork_at` derives statistically
 // independent child streams (e.g. one per fault-injection trial)
-// without the children sharing state with the parent.
+// without the children sharing state with the parent and without
+// depending on the parent's draw position.
 #pragma once
 
 #include <cstdint>
@@ -46,12 +47,14 @@ public:
     /// Derive an independent child stream. Children created with
     /// different `child_id`s (or from different parents) do not overlap.
     ///
-    /// NOTE: fork() advances the parent engine, so the child produced
-    /// for a given `child_id` depends on how many draws/forks preceded
-    /// the call. Sharded consumers that need an order-invariant stream
-    /// per child (campaign shards, per-trial streams) must use
-    /// fork_at() instead.
-    Rng fork(std::uint64_t child_id);
+    /// DEPRECATED: fork() advances the parent engine, so the child
+    /// produced for a given `child_id` depends on how many draws/forks
+    /// preceded the call — a draw-position coupling that has bitten
+    /// every sharded consumer. Superseded by fork_at(), which is
+    /// order-invariant and const. Kept only so historical seeds keep
+    /// reproducing; new code is rejected by seamap_lint (rng-fork).
+    [[deprecated("use fork_at(): order-invariant, const, shard-safe")]] Rng
+    fork(std::uint64_t child_id);
 
     /// Order-invariant fork: the child stream is a pure function of
     /// (seed(), child_id) — splitmix64 over seed ⊕ mixed child id — so

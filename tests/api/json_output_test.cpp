@@ -112,6 +112,7 @@ TEST(JsonResults, DseResultGolden) {
     result.pareto_front = {point};
     result.scalings_total = 4;
     result.scalings_enumerated = 4;
+    result.scalings_emitted = 3;
     result.scalings_searched = 2;
     result.scalings_skipped_infeasible = 1;
     result.scalings_pruned = 1;
@@ -121,7 +122,7 @@ TEST(JsonResults, DseResultGolden) {
         "{\"tm_seconds\":0.5,\"latency_seconds\":0.5,\"register_bits\":1024,"
         "\"gamma\":0.25,\"power_mw\":50.5,\"feasible\":true}}";
     EXPECT_EQ(to_json(result).dump(),
-              "{\"scalings\":{\"total\":4,\"enumerated\":4,\"searched\":2,"
+              "{\"scalings\":{\"total\":4,\"enumerated\":4,\"emitted\":3,\"searched\":2,"
               "\"skipped_infeasible\":1,\"pruned\":1},\"best\":" +
                   point_json + ",\"feasible_count\":1,\"pareto_front\":[" + point_json +
                   "]}");

@@ -1,0 +1,119 @@
+// The multi-start payoff contract (DseParams::multi_start): each
+// scaling folds K independent mapping searches best-of-K, start 0
+// being exactly the single-start walk — so growing K can only improve
+// (never worsen) each scaling's folded Gamma and the minimum Gamma
+// over all feasible designs, the feasible set can only grow, and for
+// any fixed K the result is deterministic and thread-count invariant.
+// bm_multi_start_saturation measures what this property costs.
+#include "seamap/seamap.h"
+
+#include "core/lazy_scaling_queue.h"
+
+#include "sched/list_scheduler.h"
+#include "taskgraph/fig8.h"
+#include "tgff/random_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace seamap {
+namespace {
+
+void expect_point_identical(const DsePoint& a, const DsePoint& b) {
+    EXPECT_EQ(a.levels, b.levels);
+    EXPECT_EQ(a.mapping, b.mapping);
+    EXPECT_EQ(a.metrics.tm_seconds, b.metrics.tm_seconds);
+    EXPECT_EQ(a.metrics.gamma, b.metrics.gamma);
+    EXPECT_EQ(a.metrics.power_mw, b.metrics.power_mw);
+}
+
+void expect_result_identical(const DseResult& a, const DseResult& b) {
+    ASSERT_EQ(a.feasible_points.size(), b.feasible_points.size());
+    for (std::size_t i = 0; i < a.feasible_points.size(); ++i)
+        expect_point_identical(a.feasible_points[i], b.feasible_points[i]);
+    ASSERT_EQ(a.best.has_value(), b.best.has_value());
+    if (a.best) expect_point_identical(*a.best, *b.best);
+}
+
+DseResult run(const Problem& problem, std::size_t multi_start, std::size_t threads) {
+    ExploreOptions options;
+    options.dse.prune = false; // full coverage: every scaling's fold is visible
+    options.dse.num_threads = threads;
+    options.dse.multi_start = multi_start;
+    options.dse.search.max_iterations = 150;
+    options.dse.search.seed = 17;
+    return explore(problem, options);
+}
+
+double min_gamma(const DseResult& result) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const DsePoint& point : result.feasible_points)
+        if (point.metrics.gamma < best) best = point.metrics.gamma;
+    return best;
+}
+
+void check_payoff(const Problem& problem) {
+    const std::vector<std::size_t> ks{1, 2, 4};
+    std::vector<DseResult> results;
+    const std::size_t level_count =
+        problem.architecture().scaling_table().level_count();
+    for (const std::size_t k : ks) results.push_back(run(problem, k, 1));
+
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        SCOPED_TRACE("multi_start " + std::to_string(ks[i - 1]) + " -> " +
+                     std::to_string(ks[i]));
+        const DseResult& smaller = results[i - 1];
+        const DseResult& larger = results[i];
+        // The start-seed set of K is a prefix of K+1's, so best-of-K
+        // folds are monotone per scaling...
+        std::map<std::uint64_t, double> folded;
+        for (const DsePoint& point : larger.feasible_points)
+            folded.emplace(LazyScalingQueue::rank_of(point.levels, level_count), point.metrics.gamma);
+        // ...the feasible set only grows...
+        EXPECT_GE(larger.feasible_points.size(), smaller.feasible_points.size());
+        for (const DsePoint& point : smaller.feasible_points) {
+            const auto at = folded.find(LazyScalingQueue::rank_of(point.levels, level_count));
+            ASSERT_NE(at, folded.end())
+                << "a scaling feasible at K=" << ks[i - 1] << " vanished at K=" << ks[i];
+            EXPECT_LE(at->second, point.metrics.gamma);
+        }
+        // ...and so does the global minimum Gamma.
+        if (!smaller.feasible_points.empty()) {
+            EXPECT_LE(min_gamma(larger), min_gamma(smaller));
+        }
+    }
+
+    // Fixed K: deterministic rerun, bit-identical at every thread count.
+    expect_result_identical(results.back(), run(problem, 4, 1));
+    expect_result_identical(results.back(), run(problem, 4, 8));
+}
+
+TEST(DseMultiStart, PayoffOnFig8) {
+    const Problem problem = ProblemBuilder()
+                                .graph(fig8_example_graph())
+                                .architecture(3, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(0.2)
+                                .build();
+    check_payoff(problem);
+}
+
+TEST(DseMultiStart, PayoffOnRandomTgff) {
+    TgffParams params;
+    params.task_count = 12;
+    const TaskGraph graph = generate_tgff_graph(params, 5);
+    const MpsocArchitecture probe(3, VoltageScalingTable::arm7_three_level());
+    const double deadline = 1.5 * tm_lower_bound_seconds(graph, probe, {1, 1, 1});
+    const Problem problem = ProblemBuilder()
+                                .graph(graph)
+                                .architecture(3, VoltageScalingTable::arm7_three_level())
+                                .deadline_seconds(deadline)
+                                .build();
+    check_payoff(problem);
+}
+
+} // namespace
+} // namespace seamap

@@ -42,6 +42,7 @@ void expect_result_identical(const DseResult& a, const DseResult& b) {
     EXPECT_EQ(a.scalings_total, b.scalings_total);
     EXPECT_EQ(a.scalings_enumerated, b.scalings_enumerated);
     EXPECT_EQ(a.scalings_skipped_infeasible, b.scalings_skipped_infeasible);
+    EXPECT_EQ(a.scalings_emitted, b.scalings_emitted);
     EXPECT_EQ(a.scalings_pruned, b.scalings_pruned);
     EXPECT_EQ(a.scalings_searched, b.scalings_searched);
     ASSERT_EQ(a.feasible_points.size(), b.feasible_points.size());
@@ -89,6 +90,13 @@ void check_prune_contract(const Problem& problem, ExploreOptions options) {
     EXPECT_EQ(exhaustive[0].scalings_pruned, 0u);
     EXPECT_EQ(pruned[0].scalings_searched + pruned[0].scalings_pruned,
               exhaustive[0].scalings_searched);
+    // Without pruning every gate passer is emitted; with it the lazy
+    // queue's pop-time disposal emits only the undominated band:
+    // searched <= emitted <= searched + pruned.
+    EXPECT_EQ(exhaustive[0].scalings_emitted, exhaustive[0].scalings_searched);
+    EXPECT_LE(pruned[0].scalings_searched, pruned[0].scalings_emitted);
+    EXPECT_LE(pruned[0].scalings_emitted,
+              pruned[0].scalings_searched + pruned[0].scalings_pruned);
     EXPECT_LE(pruned[0].feasible_points.size(), exhaustive[0].feasible_points.size());
 }
 

@@ -193,8 +193,8 @@ TEST(FaultInjector, LocationAndAggregateModesAgreeInExpectation) {
     RunningStats agg_stats, loc_stats;
     Rng rng(31);
     for (int trial = 0; trial < 150; ++trial) {
-        Rng agg_stream = rng.fork(2 * static_cast<std::uint64_t>(trial));
-        Rng loc_stream = rng.fork(2 * static_cast<std::uint64_t>(trial) + 1);
+        Rng agg_stream = rng.fork_at(2 * static_cast<std::uint64_t>(trial));
+        Rng loc_stream = rng.fork_at(2 * static_cast<std::uint64_t>(trial) + 1);
         agg_stats.add(static_cast<double>(
             aggregate.inject(f.graph, f.mapping, f.arch, f.levels, f.schedule, agg_stream)
                 .total_seus));

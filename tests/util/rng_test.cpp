@@ -7,6 +7,13 @@
 #include <set>
 #include <vector>
 
+// fork() is deprecated in favour of fork_at(), but its historical
+// stream contract must keep holding for as long as the function
+// exists — these are the only call sites allowed to exercise it.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace seamap {
 namespace {
 

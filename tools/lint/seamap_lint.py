@@ -10,6 +10,12 @@ enforced here, at analysis time, instead of living in reviewers' heads:
                  `std::random_device`, and raw `<random>` engines are
                  banned outside src/util/rng.* — all stochastic code
                  takes an explicit 64-bit seed through seamap::Rng.
+  rng-fork       No new `Rng::fork()` calls. fork() couples the child
+                 stream to the parent's draw position, which broke the
+                 sharded campaign's order-invariance once already; it
+                 is [[deprecated]] in favour of fork_at() and allowed
+                 only inside src/util/rng.* (and the rng unit tests,
+                 which pin its historical streams).
   unordered-iter No order-unstable containers in result- or
                  JSON-producing paths (src/api/, src/core/). Iterating
                  an unordered container feeds hash-order into results;
@@ -74,6 +80,7 @@ from scanlib import (Finding, SourceFile, Suppressions, collect_files,  # noqa: 
 
 RULES = {
     "rng": "ambient randomness outside src/util/rng.* (use seamap::Rng with an explicit seed)",
+    "rng-fork": "deprecated Rng::fork() call outside src/util/rng.* (use order-invariant fork_at())",
     "unordered-iter": "order-unstable container in a result/JSON-producing path (src/api/, src/core/)",
     "float-eq": "raw floating-point ==/!= (use util/float_compare.h: nearly_equal/exactly_equal/exactly_zero)",
     "time": "wall-clock read in search/eval code (timing only via util/cancellation.h)",
@@ -96,6 +103,8 @@ def rule_applies(rule: str, relpath: str) -> bool:
     p = relpath.replace(os.sep, "/")
     if rule == "rng":
         return not p.startswith("src/util/rng.")
+    if rule == "rng-fork":
+        return not p.startswith("src/util/rng.")
     if rule == "unordered-iter":
         return p.startswith("src/api/") or p.startswith("src/core/")
     if rule == "time":
@@ -112,6 +121,9 @@ RNG_RE = re.compile(
     r"|std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|ranlux\w+|knuth_b)\b"
 )
 UNORDERED_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\b")
+# `x.fork(...)` / `p->fork(...)` but never fork_at — the `(` in the
+# pattern cannot match fork_at's `_`.
+RNG_FORK_RE = re.compile(r"(?:\.|->)\s*fork\s*\(")
 TIME_RE = re.compile(
     r"::now\s*\(|\bstd::time\s*\(|(?<![:\w])clock\s*\(\s*\)|\bgettimeofday\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
 )
@@ -278,6 +290,13 @@ def lint_file(path: str, relpath: str, global_float_names: set) -> list:
             if m:
                 report("rng", "`%s` — all randomness flows through seamap::Rng "
                               "with an explicit seed" % m.group(0).strip())
+        if rule_applies("rng-fork", relpath):
+            m = RNG_FORK_RE.search(line)
+            if m:
+                report("rng-fork",
+                       "`%s)` — Rng::fork() is deprecated (child stream depends "
+                       "on the parent's draw position); use fork_at(child_id)"
+                       % m.group(0).strip())
         if rule_applies("unordered-iter", relpath):
             m = UNORDERED_RE.search(line)
             if m:

@@ -8,13 +8,13 @@
 # The second argument is either an output path (anything containing a
 # '/' or ending in .json) or a bare PR number N, which resolves to
 # <build-dir>/BENCH_N.json. Defaults: build directory `build`, PR
-# number ${BENCH_PR:-8} (the current perf-trajectory point).
+# number ${BENCH_PR:-10} (the current perf-trajectory point).
 # Pass BENCH_FILTER to restrict which benchmarks run, e.g.
 #   BENCH_FILTER='bm_explore_prunable|bm_eval' tools/run_bench.sh
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-BENCH_PR="${BENCH_PR:-8}"
+BENCH_PR="${BENCH_PR:-10}"
 SPEC="${2:-${BENCH_PR}}"
 if [[ "${SPEC}" == */* || "${SPEC}" == *.json ]]; then
     OUT="${SPEC}"

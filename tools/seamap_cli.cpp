@@ -122,7 +122,9 @@ void print_usage(std::ostream& out) {
         "  generate <kind> -o out.tg [--seed S] [--tasks N] [--batches B]\n"
         "           kinds: tgff (random, paper distributions; --tasks),\n"
         "                  fft (--log2 K), gauss (--n N), pipeline (--stages S --width W),\n"
-        "                  mpeg2 (paper Fig. 2), fig8 (paper worked example)\n"
+        "                  mpeg2 (paper Fig. 2), fig8 (paper worked example),\n"
+        "                  scale (giant-instance --scale family: pipelined tgff,\n"
+        "                         --tasks 1000 --cores 16 name the instance)\n"
         "  info <graph.tg> [--json]\n"
         "           structural summary: tasks, edges, costs, registers, critical path\n"
         "  optimize <graph.tg> --cores N [--deadline SECONDS] [--levels 2|3|4]\n"
@@ -278,6 +280,17 @@ int cmd_generate(const ArgList& args) {
         params.batch_count = args.u64("--batches", 50);
         graph = pipeline_task_graph(static_cast<std::uint32_t>(args.u64("--stages", 6)),
                                     static_cast<std::uint32_t>(args.u64("--width", 3)), params);
+    } else if (kind == "scale") {
+        // The giant-instance family of api/scenarios.h scale_problem():
+        // a pipelined TGFF graph (batch 256 so the throughput term
+        // dominates T_M) sized for 10^3..10^4 tasks. --cores only names
+        // the instance here; pass the same value to `optimize --cores`.
+        TgffParams params;
+        params.task_count = args.u64("--tasks", 1000);
+        params.batch_count = args.u64("--batches", 256);
+        params.name = "scale_" + std::to_string(params.task_count) + "t" +
+                      std::to_string(args.u64("--cores", 16)) + "c";
+        graph = generate_tgff_graph(params, seed);
     } else if (kind == "mpeg2") {
         graph = mpeg2_decoder_graph();
     } else if (kind == "fig8") {
