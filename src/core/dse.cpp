@@ -16,6 +16,7 @@
 #include <deque>
 #include <exception>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <numeric>
 #include <optional>
@@ -26,18 +27,15 @@ namespace seamap {
 
 namespace {
 
-/// Final outcome of one scaling combination after the deterministic
-/// merge replay. Written in pre-assigned slots so counters and feasible
-/// points fold in enumeration order regardless of thread count.
-struct ScalingOutcome {
-    enum class Status : unsigned char {
-        not_run,            ///< stop requested before this slot finished
-        skipped_infeasible, ///< failed the T_M lower-bound gate
-        pruned,             ///< bounds dominated by an earlier survivor
-        searched_no_design, ///< searched, no feasible mapping found
-        feasible,           ///< searched, `point` holds the best design
-    };
-    Status status = Status::not_run;
+/// Decided design of one *feasible* scaling combination, keyed by its
+/// enumeration rank in a sparse map so the end-of-run fold still walks
+/// feasible points in enumeration order regardless of thread count.
+/// Pruned / gate-skipped / searched-but-empty decisions carry no design
+/// and fold into plain counters instead: resident memory tracks the
+/// slots actually decided, never the full combination space (which at
+/// giant instances — C(69,5) and up — would dwarf the frontier the
+/// lazy enumeration is meant to bound).
+struct FeasibleOutcome {
     DsePoint point;
     /// Folded min-power side channel (DseParams::search.track_min_power).
     DsePoint min_power_point;
@@ -156,18 +154,22 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     // priority queue (core/lazy_scaling_queue.h) — the full sequence is
     // never materialized and, with pruning on, dominated slots are
     // disposed of at pop time before their searches are ever submitted.
-    // Each combination still owns a fixed outcome slot addressed by its
-    // enumeration rank: workers may finish out of order, but the merge
-    // below replays prune decisions in pop order and folds counters and
-    // feasible points in enumeration order, making the result
-    // independent of the thread count (absent wall-clock cuts).
+    // Outcome storage is sparse for the same reason: feasible designs
+    // land in a rank-keyed map (walked in enumeration order by the
+    // final fold) and everything else folds into counters, so workers
+    // may finish out of order yet the result stays independent of the
+    // thread count (absent wall-clock cuts) while resident memory
+    // tracks decided slots, not queue.total().
     const std::optional<ScalingBoundsModel> bounds_model =
         params.prune ? std::optional<ScalingBoundsModel>(std::in_place, graph, arch,
                                                          deadline_seconds, ser_, policy_)
                      : std::nullopt;
     LazyScalingQueue queue(graph, arch, deadline_seconds,
                            bounds_model ? &*bounds_model : nullptr);
-    std::vector<ScalingOutcome> outcomes(queue.total());
+    std::map<std::uint64_t, FeasibleOutcome> feasible_outcomes; // under bb_mutex
+    std::uint64_t skipped_count = 0;   ///< gate skips; producer thread only
+    std::uint64_t pruned_count = 0;    ///< replay-pruned; under bb_mutex
+    std::uint64_t no_design_count = 0; ///< searched, empty; under bb_mutex
 
     const std::size_t starts = std::max<std::size_t>(1, params.multi_start);
     const double tie = std::max(0.0, params.power_tie_tolerance);
@@ -236,6 +238,12 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         bool runtime_pruned = false;
         bool completed = false;
         std::size_t starts_done = 0;
+        /// The replay's verdict, kept on the slot so the lagged
+        /// disposal front can be advanced without a dense outcome
+        /// array: set iff the replay decided this slot feasible.
+        bool replay_feasible = false;
+        double replay_power = 0.0;
+        double replay_gamma = 0.0;
     };
     std::deque<SearchSlot> slots;
     std::mutex bb_mutex;
@@ -284,19 +292,18 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
         const bool advanced = replayed < slots.size() && slots[replayed].completed;
         while (replayed < slots.size() && slots[replayed].completed) {
             SearchSlot& slot = slots[replayed];
-            ScalingOutcome& outcome = outcomes[slot.rank];
             if (slot.record != nullptr) {
                 // Restored decision: replay it from the snapshot.
                 const DseSlotRecord& record = *slot.record;
                 switch (record.kind) {
                 case DseSlotRecord::Kind::pruned:
-                    outcome.status = ScalingOutcome::Status::pruned;
+                    ++pruned_count;
                     break;
                 case DseSlotRecord::Kind::no_design:
-                    outcome.status = ScalingOutcome::Status::searched_no_design;
+                    ++no_design_count;
                     break;
-                case DseSlotRecord::Kind::feasible:
-                    outcome.status = ScalingOutcome::Status::feasible;
+                case DseSlotRecord::Kind::feasible: {
+                    FeasibleOutcome outcome;
                     outcome.point.levels = slot.levels;
                     outcome.point.mapping = record.point.mapping;
                     outcome.point.metrics = record.point.metrics;
@@ -306,9 +313,14 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                         outcome.min_power_point.metrics = record.min_power_point.metrics;
                         outcome.has_min_power = true;
                     }
+                    slot.replay_feasible = true;
+                    slot.replay_power = record.point.metrics.power_mw;
+                    slot.replay_gamma = record.point.metrics.gamma;
                     replay_front.insert(record.point.metrics.power_mw,
                                         record.point.metrics.gamma);
+                    feasible_outcomes.emplace(slot.rank, std::move(outcome));
                     break;
+                }
                 }
             } else {
                 const bool fully_ran =
@@ -323,7 +335,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                     // A disposed slot's replay front is a superset of
                     // the lagged front that disposed it, so the replay
                     // verdict is already known (dominance is monotone).
-                    outcome.status = ScalingOutcome::Status::pruned;
+                    ++pruned_count;
                     record.kind = DseSlotRecord::Kind::pruned;
                     recordable = true;
                 } else if (!fully_ran) {
@@ -337,7 +349,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                 } else {
                     const LocalSearchResult& folded = fold_starts(slot.start_results);
                     if (folded.found_feasible) {
-                        outcome.status = ScalingOutcome::Status::feasible;
+                        FeasibleOutcome outcome;
                         outcome.point.levels = slot.levels;
                         outcome.point.mapping = folded.best_mapping;
                         outcome.point.metrics = folded.best_metrics;
@@ -352,10 +364,14 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                             record.min_power_point = outcome.min_power_point;
                             record.has_min_power = true;
                         }
+                        slot.replay_feasible = true;
+                        slot.replay_power = folded.best_metrics.power_mw;
+                        slot.replay_gamma = folded.best_metrics.gamma;
                         replay_front.insert(folded.best_metrics.power_mw,
                                             folded.best_metrics.gamma);
+                        feasible_outcomes.emplace(slot.rank, std::move(outcome));
                     } else {
-                        outcome.status = ScalingOutcome::Status::searched_no_design;
+                        ++no_design_count;
                         record.kind = DseSlotRecord::Kind::no_design;
                     }
                     recordable = true;
@@ -376,16 +392,19 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
     // (never further). Called with bb_mutex held, prefix <= replayed.
     auto advance_disposal_to = [&](std::size_t prefix) {
         while (disposal_advanced < prefix) {
-            const ScalingOutcome& outcome = outcomes[slots[disposal_advanced].rank];
-            if (outcome.status == ScalingOutcome::Status::feasible)
-                disposal_front.insert(outcome.point.metrics.power_mw,
-                                      outcome.point.metrics.gamma);
+            const SearchSlot& slot = slots[disposal_advanced];
+            if (slot.replay_feasible)
+                disposal_front.insert(slot.replay_power, slot.replay_gamma);
             ++disposal_advanced;
         }
     };
 
-    auto run_start = [&](std::size_t pos, std::size_t start_index) {
-        SearchSlot& slot = slots[pos];
+    // The slot reference is resolved by the producer while it still
+    // holds bb_mutex and passed in directly: deque element references
+    // are stable across emplace_back, but slots::operator[] traverses
+    // the deque's node map, which a concurrent emplace_back may be
+    // reallocating — workers must never index the deque unlocked.
+    auto run_start = [&](SearchSlot& slot, std::size_t start_index) {
         bool searched = false;
         if (!stop.stop_requested()) {
             bool do_search = true;
@@ -491,9 +510,11 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
             if (!popped) break;
             const std::uint64_t rank = popped->rank;
             if (!popped->gate_passed) {
-                // Gate skips are free: record and stream them right
-                // here, ahead of any search.
-                outcomes[rank].status = ScalingOutcome::Status::skipped_infeasible;
+                // Gate skips are free: count and stream them right
+                // here, ahead of any search. (Producer-only counter —
+                // gate-skipped ranks never enter `slots`, so no other
+                // thread ever touches them.)
+                ++skipped_count;
                 notify(rank, popped->levels, ScalingProgress::Outcome::skipped_infeasible,
                        nullptr);
                 continue;
@@ -507,6 +528,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
             bool disposed = false;
             bool emitted_now = false;
             std::size_t pos = 0;
+            SearchSlot* slot_ptr = nullptr;
             {
                 std::unique_lock lock(bb_mutex);
                 pos = slots.size();
@@ -536,6 +558,7 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                 }
                 slots.emplace_back();
                 SearchSlot& slot = slots.back();
+                slot_ptr = &slot;
                 slot.rank = rank;
                 slot.levels = std::move(popped->levels);
                 if (record != nullptr) {
@@ -557,13 +580,13 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                 }
             }
             if (disposed) {
-                notify(rank, slots[pos].levels, ScalingProgress::Outcome::pruned, nullptr);
+                notify(rank, slot_ptr->levels, ScalingProgress::Outcome::pruned, nullptr);
                 if (checkpoint != nullptr) checkpoint->maybe_flush();
                 continue;
             }
             if (emitted_now)
                 for (std::size_t r = 0; r < starts; ++r)
-                    pool.submit(pos, [&, pos, r] { run_start(pos, r); });
+                    pool.submit(pos, [&, slot_ptr, r] { run_start(*slot_ptr, r); });
         }
         pool.wait_idle();
     }
@@ -589,33 +612,23 @@ DseResult DesignSpaceExplorer::explore(const TaskGraph& graph, const MpsocArchit
                         std::to_string(next_record),
                     checkpoint->path());
 
-    // Deterministic fold in enumeration order.
+    // Deterministic fold: the counters are order-independent sums and
+    // the rank-keyed map iterates in ascending enumeration rank, so the
+    // feasible/min-power point order is byte-identical to the old dense
+    // rank-indexed sweep at any thread count.
     DseResult result;
     result.scalings_total = queue.total();
     result.scalings_emitted = emitted;
-    for (ScalingOutcome& outcome : outcomes) {
-        switch (outcome.status) {
-        case ScalingOutcome::Status::not_run:
-            continue;
-        case ScalingOutcome::Status::skipped_infeasible:
-            ++result.scalings_enumerated;
-            ++result.scalings_skipped_infeasible;
-            continue;
-        case ScalingOutcome::Status::pruned:
-            ++result.scalings_enumerated;
-            ++result.scalings_pruned;
-            continue;
-        case ScalingOutcome::Status::searched_no_design:
-            ++result.scalings_enumerated;
-            ++result.scalings_searched;
-            continue;
-        case ScalingOutcome::Status::feasible:
-            ++result.scalings_enumerated;
-            ++result.scalings_searched;
-            result.feasible_points.push_back(std::move(outcome.point));
-            if (outcome.has_min_power)
-                result.min_power_points.push_back(std::move(outcome.min_power_point));
-        }
+    result.scalings_skipped_infeasible = skipped_count;
+    result.scalings_pruned = pruned_count;
+    result.scalings_searched =
+        no_design_count + static_cast<std::uint64_t>(feasible_outcomes.size());
+    result.scalings_enumerated = skipped_count + pruned_count + result.scalings_searched;
+    for (auto& [rank, outcome] : feasible_outcomes) {
+        (void)rank;
+        result.feasible_points.push_back(std::move(outcome.point));
+        if (outcome.has_min_power)
+            result.min_power_points.push_back(std::move(outcome.min_power_point));
     }
 
     // Step 3: iterative assessment — among feasible designs pick

@@ -1,23 +1,26 @@
 // Negative fixture: deprecated Rng::fork() call. Both receiver shapes
-// appear (value dot-call and pointer arrow-call), and a fork_at() call
-// sits between them to prove the rule does not misfire on the
-// sanctioned replacement.
+// appear (value dot-call and pointer arrow-call), plus an inline
+// temporary, and a fork_at() call sits between them to prove the rule
+// does not misfire on the sanctioned replacement.
 // seamap-lint-fixture: expect rng-fork
 
 namespace seamap_fixture {
 
 struct Rng {
+    Rng(unsigned long long seed);
     Rng fork(unsigned long long id);
     Rng fork_at(unsigned long long id) const;
 };
 
-void drive(Rng& parent, Rng* shared) {
-    auto child = parent.fork(0); // deprecated: draw-position-coupled
-    auto stable = parent.fork_at(1); // fine: order-invariant
-    auto other = shared->fork(2); // deprecated through a pointer too
+void drive(Rng& parent_rng, Rng* shard_rng) {
+    auto child = parent_rng.fork(0); // deprecated: draw-position-coupled
+    auto stable = parent_rng.fork_at(1); // fine: order-invariant
+    auto other = shard_rng->fork(2); // deprecated through a pointer too
+    auto inline_child = Rng(7).fork(3); // deprecated on a temporary too
     (void)child;
     (void)stable;
     (void)other;
+    (void)inline_child;
 }
 
 } // namespace seamap_fixture

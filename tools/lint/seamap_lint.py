@@ -15,7 +15,12 @@ enforced here, at analysis time, instead of living in reviewers' heads:
                  sharded campaign's order-invariance once already; it
                  is [[deprecated]] in favour of fork_at() and allowed
                  only inside src/util/rng.* (and the rng unit tests,
-                 which pin its historical streams).
+                 which pin its historical streams). Heuristic: fires
+                 only when the receiver looks like an Rng (identifier
+                 containing "rng", or an inline Rng temporary) — an
+                 unrelated fork() method on some other class is not a
+                 finding, and a mis-flagged line can be justified with
+                 `allow(rng-fork) -- reason`.
   unordered-iter No order-unstable containers in result- or
                  JSON-producing paths (src/api/, src/core/). Iterating
                  an unordered container feeds hash-order into results;
@@ -121,9 +126,17 @@ RNG_RE = re.compile(
     r"|std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|ranlux\w+|knuth_b)\b"
 )
 UNORDERED_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\b")
-# `x.fork(...)` / `p->fork(...)` but never fork_at — the `(` in the
-# pattern cannot match fork_at's `_`.
-RNG_FORK_RE = re.compile(r"(?:\.|->)\s*fork\s*\(")
+# `rng.fork(...)` / `shard_rng->fork(...)` but never fork_at — the `(`
+# in the pattern cannot match fork_at's `_`. The receiver must *look
+# like* an Rng: an identifier containing "rng" (any case) or an inline
+# `Rng(...)`/`Rng{...}` temporary. Unrelated fork() methods on other
+# classes (process wrappers, checkpoint forks) are none of this rule's
+# business. An Rng-typed receiver the heuristic misses should be
+# renamed to say what it is; a true false positive can be justified
+# inline with `// seamap-lint: allow(rng-fork) -- reason`.
+RNG_FORK_RE = re.compile(
+    r"(?:\b\w*[Rr][Nn][Gg]\w*|\bRng\s*(?:\([^()]*\)|\{[^{}]*\}))\s*(?:\.|->)\s*fork\s*\("
+)
 TIME_RE = re.compile(
     r"::now\s*\(|\bstd::time\s*\(|(?<![:\w])clock\s*\(\s*\)|\bgettimeofday\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
 )
